@@ -1,0 +1,77 @@
+"""Drug discovery case study (paper §1 and Fig. 10).
+
+Trains a mutagenicity classifier, asks GVEX *why* compounds are
+classified as mutagens, and answers the paper's motivating queries:
+
+  * "what are the critical substructures behind the mutagen label?"
+  * "which toxicophores occur in mutagens?"
+  * "does removing the explanation really flip the prediction?"
+
+    python examples/drug_discovery.py
+"""
+
+from repro.config import GvexConfig
+from repro.core.approx import ApproxGvex
+from repro.datasets import mutagenicity
+from repro.datasets.molecules import C, N, O, nitro_group, amine_group
+from repro.gnn.model import GnnClassifier
+from repro.gnn.training import train_classifier
+from repro.graphs.pattern import Pattern
+from repro.matching.isomorphism import is_subgraph_isomorphic
+from repro.metrics.fidelity import fidelity_plus_single
+
+ATOM = {0: "C", 1: "N", 2: "O", 3: "H"}
+
+
+def atoms_of(graph, nodes):
+    return "-".join(ATOM.get(graph.node_type(v), "?") for v in sorted(nodes))
+
+
+def main() -> None:
+    db = mutagenicity(n_graphs=40, seed=3)
+    model = GnnClassifier(14, 2, hidden_dims=(32, 32, 32), seed=0)
+    model, encoder, metrics = train_classifier(db, model, seed=0)
+    print(f"classifier: {metrics}")
+
+    # explain only the mutagen class, small tight explanations
+    config = GvexConfig(theta=0.08, radius=0.3).with_bounds(0, 5)
+    algo = ApproxGvex(model, config, labels=[1])
+    views = algo.explain(db)
+    view = views[1]
+
+    print(f"\nmutagen view: {len(view.subgraphs)} subgraphs, "
+          f"{len(view.patterns)} patterns")
+
+    # Q1: which atoms explain each mutagen?
+    print("\nper-compound explanations (and their counterfactual effect):")
+    for sub in view.subgraphs[:6]:
+        g = db[sub.graph_index]
+        effect = fidelity_plus_single(model, g, sub.nodes, 1)
+        print(
+            f"  compound {sub.graph_index:>2}: atoms {atoms_of(g, sub.nodes):<12}"
+            f" removal drops P(mutagen) by {effect:+.2f}"
+        )
+
+    # Q2 (queryable views): which known toxicophores occur in the view?
+    known_toxicophores = {
+        "NO2 (nitro)": Pattern(nitro_group()),
+        "NH2 (amine)": Pattern(amine_group()),
+    }
+    print("\ntoxicophore query over explanation subgraphs:")
+    for name, toxicophore in known_toxicophores.items():
+        hits = [
+            s.graph_index
+            for s in view.subgraphs
+            if is_subgraph_isomorphic(toxicophore, s.subgraph)
+        ]
+        print(f"  {name}: found in {len(hits)} explanation(s) -> {hits[:8]}")
+
+    # Q3: are the discovered patterns themselves toxicophore-like?
+    print("\nhigher-tier patterns (the queryable summary):")
+    for i, p in enumerate(view.patterns):
+        types = "".join(sorted(ATOM.get(p.node_type(v), "?") for v in p.graph.nodes()))
+        print(f"  P{i}: atoms={types} ({p.n_nodes} nodes, {p.n_edges} edges)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Multi-class explanation views (paper Fig. 13): ENZYMES analogue.
+
+Builds one explanation view per enzyme class and shows that the views
+separate the classes structurally — different planted motifs surface
+as different patterns. Also demonstrates persisting views to JSON and
+loading them back (views are *queryable artifacts*, not transient
+objects).
+
+    python examples/enzyme_multiclass.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.config import GvexConfig
+from repro.core.approx import explain_database
+from repro.datasets import enzymes
+from repro.gnn.model import GnnClassifier
+from repro.gnn.training import train_classifier
+from repro.graphs.io import load_views, save_views
+
+ELEMENT = {0: "helix", 1: "sheet", 2: "turn"}
+
+
+def main() -> None:
+    db = enzymes(n_graphs=60, seed=4)
+    model = GnnClassifier(3, 6, hidden_dims=(32, 32, 32), seed=0)
+    model, encoder, metrics = train_classifier(db, model, seed=0)
+    print(f"classifier: {metrics}")
+
+    config = GvexConfig(theta=0.08, radius=0.3).with_bounds(0, 7)
+    views = explain_database(db, model, config)
+
+    print(f"\ngenerated {len(views)} views (one per predicted class)")
+    for view in views:
+        compositions = []
+        for p in view.patterns[:3]:
+            counts = {}
+            for v in p.graph.nodes():
+                name = ELEMENT.get(p.node_type(v), "?")
+                counts[name] = counts.get(name, 0) + 1
+            compositions.append(
+                "+".join(f"{n}x{name}" for name, n in sorted(counts.items()))
+            )
+        print(
+            f"  class {view.label}: {len(view.subgraphs)} subgraphs, "
+            f"patterns: {compositions}"
+        )
+
+    # persist and reload: views are plain JSON, directly queryable
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "enzyme_views.json"
+        save_views(views, path)
+        print(f"\nsaved views to {path} ({path.stat().st_size} bytes)")
+        loaded = load_views(path)
+        assert loaded.labels == views.labels
+        total = sum(len(v.subgraphs) for v in loaded)
+        print(f"reloaded {len(loaded)} views with {total} subgraphs intact")
+
+
+if __name__ == "__main__":
+    main()

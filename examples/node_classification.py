@@ -1,0 +1,63 @@
+"""Node-classification explanation (Table 1's NC column).
+
+Trains a node-level GCN on a two-community graph (an SBM, like a tiny
+citation network) and asks GVEX to explain individual node predictions:
+which neighborhood nodes give node v its community label?
+
+    python examples/node_classification.py
+"""
+
+import numpy as np
+
+from repro.config import GvexConfig
+from repro.core.node_explain import explain_node
+from repro.gnn.node_model import NodeGnnClassifier
+from repro.graphs.generators import stochastic_block_model
+from repro.graphs.graph import Graph
+
+
+def main() -> None:
+    # a two-community graph with noisy community-indicating features
+    rng = np.random.default_rng(7)
+    base, blocks = stochastic_block_model([15, 15], 0.4, 0.04, seed=7)
+    X = rng.normal(0, 0.5, size=(base.n_nodes, 4))
+    X[np.arange(base.n_nodes), blocks] += 1.5
+    graph = Graph(base.node_types, features=X)
+    for u, v, t in base.edges():
+        graph.add_edge(u, v, t)
+
+    model = NodeGnnClassifier(4, 2, hidden_dims=(16, 16), seed=0)
+    model.fit(graph, blocks, epochs=200)
+    acc = model.accuracy(graph, blocks)
+    print(f"node classifier accuracy: {acc:.2f} on {graph.n_nodes} nodes")
+
+    config = GvexConfig(theta=0.05, radius=0.4).with_bounds(0, 6)
+    print("\nexplaining one node per community:")
+    for node in (2, 20):
+        expl = explain_node(model, graph, node, config=config)
+        same = sum(1 for v in expl.context_nodes if blocks[v] == blocks[node])
+        print(
+            f"  node {node} (community {blocks[node]}): label={expl.label}, "
+            f"context={sorted(expl.context_nodes)}"
+        )
+        print(
+            f"    {same}/{len(expl.context_nodes)} context nodes share its "
+            f"community; consistent={expl.consistent}, "
+            f"counterfactual={expl.counterfactual}"
+        )
+
+    # aggregate: context nodes should be overwhelmingly same-community
+    total, same_total = 0, 0
+    for node in range(graph.n_nodes):
+        expl = explain_node(model, graph, node, config=config)
+        total += len(expl.context_nodes)
+        same_total += sum(1 for v in expl.context_nodes if blocks[v] == blocks[node])
+    print(
+        f"\nacross all {graph.n_nodes} nodes: "
+        f"{same_total}/{total} ({same_total/total:.0%}) of explanation "
+        f"context comes from the node's own community"
+    )
+
+
+if __name__ == "__main__":
+    main()

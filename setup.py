@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+PEP-660 editable installs (``pip install -e .``) cannot build an editable
+wheel. This shim keeps ``python setup.py develop`` working as a fallback;
+all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

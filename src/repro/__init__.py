@@ -1,0 +1,40 @@
+"""repro — reproduction of GVEX: View-based Explanations for GNNs.
+
+Public API (SIGMOD 2024, Chen et al.):
+
+* :class:`repro.graphs.Graph`, :class:`repro.graphs.GraphDatabase` —
+  attributed graph data model.
+* :class:`repro.gnn.GnnClassifier` — from-scratch numpy GNN classifier.
+* :class:`repro.config.GvexConfig` — the paper's configuration
+  ``C = (θ, r, {[b_l, u_l]})`` plus γ and operating modes.
+* :func:`repro.core.explain_database` / :class:`repro.core.ApproxGvex` /
+  :class:`repro.core.StreamGvex` — the GVEX algorithms.
+* :mod:`repro.explainers` — baselines (GNNExplainer, SubgraphX, GStarX,
+  GCFExplainer) behind a common interface.
+* :mod:`repro.datasets` — synthetic analogues of the paper's datasets.
+* :mod:`repro.metrics` — Fidelity±, Sparsity, Compression, Edge loss.
+"""
+
+from repro.config import CoverageConstraint, GvexConfig
+from repro.graphs import (
+    ExplanationSubgraph,
+    ExplanationView,
+    Graph,
+    GraphDatabase,
+    Pattern,
+    ViewSet,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Graph",
+    "GraphDatabase",
+    "Pattern",
+    "ExplanationSubgraph",
+    "ExplanationView",
+    "ViewSet",
+    "GvexConfig",
+    "CoverageConstraint",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Benchmark harness: experiment drivers and result reporting."""
+
+from repro.bench.harness import (
+    METHOD_ORDER,
+    SweepResult,
+    TimedRun,
+    bench_config,
+    fidelity_sweep,
+    label_group_indices,
+    majority_label,
+    make_explainers,
+    timed_explain,
+)
+from repro.bench.reporting import render_series, render_table, results_dir, save_result
+
+__all__ = [
+    "METHOD_ORDER",
+    "bench_config",
+    "make_explainers",
+    "label_group_indices",
+    "majority_label",
+    "SweepResult",
+    "fidelity_sweep",
+    "TimedRun",
+    "timed_explain",
+    "render_table",
+    "render_series",
+    "save_result",
+    "results_dir",
+]

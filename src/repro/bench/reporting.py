@@ -1,0 +1,63 @@
+"""Result rendering and persistence for the benchmark harness.
+
+Every experiment writes its table(s) to ``results/<experiment>.txt`` so
+EXPERIMENTS.md can cite concrete numbers, and returns the rendered text
+for assertions.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+Cell = Union[str, float, int]
+
+
+def results_dir() -> Path:
+    path = Path(os.environ.get("REPRO_RESULTS_DIR", "results"))
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def format_cell(cell: Cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def render_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[Cell]]
+) -> str:
+    """Fixed-width ASCII table."""
+    text_rows = [[format_cell(c) for c in row] for row in rows]
+    all_rows = [list(headers)] + text_rows
+    widths = [max(len(r[i]) for r in all_rows) for i in range(len(headers))]
+    lines = [title, "=" * len(title)]
+    for i, row in enumerate(all_rows):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[Cell],
+    series: Mapping[str, Sequence[Cell]],
+) -> str:
+    """A figure rendered as one row per line (x on the header row)."""
+    headers = [x_label] + [format_cell(x) for x in x_values]
+    rows = [[name] + list(values) for name, values in series.items()]
+    return render_table(title, headers, rows)
+
+
+def save_result(experiment: str, text: str) -> Path:
+    """Persist a rendered experiment to ``results/<experiment>.txt``."""
+    path = results_dir() / f"{experiment}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+__all__ = ["render_table", "render_series", "save_result", "results_dir"]

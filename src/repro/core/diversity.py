@@ -1,0 +1,49 @@
+"""Neighborhood-diversity scores ``D(V_s)`` (Eq. 6).
+
+For each node ``v``, the ball ``r(v, d)`` collects nodes whose
+final-layer GNN embeddings are within distance ``r`` of ``v``'s.
+``D(V_s)`` is the size of the union of balls around every node
+influenced by ``V_s`` — again monotone submodular.
+
+The distance is the normalized Euclidean distance: embeddings are
+L2-normalized first, so ``d`` ranges in [0, 2] and the radius threshold
+``r`` is scale-free across models and datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import GvexConfig
+from repro.gnn.model import GnnClassifier
+from repro.graphs.graph import Graph
+
+
+def embedding_distances(embeddings: np.ndarray) -> np.ndarray:
+    """Pairwise normalized Euclidean distances between embedding rows."""
+    norms = np.linalg.norm(embeddings, axis=1, keepdims=True)
+    safe = np.where(norms <= 1e-12, 1.0, norms)
+    unit = embeddings / safe
+    sq = (unit**2).sum(axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (unit @ unit.T)
+    return np.sqrt(np.maximum(d2, 0.0))
+
+
+def diversity_balls(
+    model: GnnClassifier, graph: Graph, config: GvexConfig
+) -> np.ndarray:
+    """Boolean ``(n, n)`` ball matrix ``R[v, v']`` iff ``d(X^k_v, X^k_v') <= r``."""
+    if graph.n_nodes == 0:
+        return np.zeros((0, 0), dtype=bool)
+    emb = model.node_embeddings(graph)
+    return embedding_distances(emb) <= config.radius
+
+
+def diversity_score(R: np.ndarray, influenced_mask: np.ndarray) -> int:
+    """``D(V_s)`` — union size of balls around influenced nodes."""
+    if not influenced_mask.any():
+        return 0
+    return int(R[influenced_mask].any(axis=0).sum())
+
+
+__all__ = ["embedding_distances", "diversity_balls", "diversity_score"]

@@ -1,0 +1,138 @@
+"""The explainability objective ``f`` (Eq. 2) as a submodular oracle.
+
+One :class:`ExplainabilityOracle` is built per (model, graph) pair. It
+precomputes the boolean influence relation and diversity balls, after
+which set values and marginal gains are O(n) boolean reductions — this
+is what makes the greedy in ApproxGVEX and the swap tests in
+StreamGVEX cheap.
+
+Per Eq. 2, a subgraph with node set ``V_s`` of a graph with ``|V|``
+nodes contributes ``(I(V_s) + γ·D(V_s)) / |V|``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Set
+
+import numpy as np
+
+from repro.config import GvexConfig
+from repro.core.diversity import diversity_balls
+from repro.core.influence import influence_relation
+from repro.gnn.model import GnnClassifier
+from repro.graphs.graph import Graph
+
+
+@dataclass
+class SelectionState:
+    """Incremental state of a greedy node selection on one graph."""
+
+    selected: Set[int] = field(default_factory=set)
+    influenced: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=bool))
+    diversity: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=bool))
+
+    def copy(self) -> "SelectionState":
+        return SelectionState(
+            selected=set(self.selected),
+            influenced=self.influenced.copy(),
+            diversity=self.diversity.copy(),
+        )
+
+
+class ExplainabilityOracle:
+    """Submodular value/gain oracle for Eq. 2 on a single graph."""
+
+    def __init__(
+        self, model: GnnClassifier, graph: Graph, config: GvexConfig
+    ) -> None:
+        self.graph = graph
+        self.config = config
+        self.n = graph.n_nodes
+        if self.n:
+            self.B = influence_relation(model, graph, config)
+            self.R = diversity_balls(model, graph, config)
+        else:
+            self.B = np.zeros((0, 0), dtype=bool)
+            self.R = np.zeros((0, 0), dtype=bool)
+
+    # ------------------------------------------------------------------
+    def new_state(self) -> SelectionState:
+        return SelectionState(
+            selected=set(),
+            influenced=np.zeros(self.n, dtype=bool),
+            diversity=np.zeros(self.n, dtype=bool),
+        )
+
+    def state_for(self, nodes: Iterable[int]) -> SelectionState:
+        state = self.new_state()
+        for v in nodes:
+            self.add(state, v)
+        return state
+
+    # ------------------------------------------------------------------
+    def value_of_state(self, state: SelectionState) -> float:
+        """Current ``(I + γ·D) / |V|`` value."""
+        if self.n == 0:
+            return 0.0
+        influence = float(state.influenced.sum())
+        diversity = float(state.diversity.sum())
+        return (influence + self.config.gamma * diversity) / self.n
+
+    def evaluate(self, nodes: Iterable[int]) -> float:
+        """Stateless value of an arbitrary node set."""
+        return self.value_of_state(self.state_for(nodes))
+
+    def gain(self, state: SelectionState, v: int) -> float:
+        """Marginal gain of adding node ``v`` (without mutating state)."""
+        if v in state.selected:
+            return 0.0
+        new_influenced = state.influenced | self.B[v]
+        newly = new_influenced & ~state.influenced
+        d_influence = float(newly.sum())
+        if newly.any():
+            new_diversity = state.diversity | self.R[newly].any(axis=0)
+            d_diversity = float((new_diversity & ~state.diversity).sum())
+        else:
+            d_diversity = 0.0
+        return (d_influence + self.config.gamma * d_diversity) / self.n
+
+    def loss(self, state: SelectionState, v: int) -> float:
+        """Value drop from removing ``v`` (recomputes the reduced state)."""
+        if v not in state.selected:
+            return 0.0
+        reduced = self.state_for(state.selected - {v})
+        return self.value_of_state(state) - self.value_of_state(reduced)
+
+    def add(self, state: SelectionState, v: int) -> float:
+        """Add ``v`` to the state; returns the realized gain."""
+        gain = self.gain(state, v)
+        if v in state.selected:
+            return 0.0
+        newly = self.B[v] & ~state.influenced
+        state.influenced |= self.B[v]
+        if newly.any():
+            state.diversity |= self.R[newly].any(axis=0)
+        state.selected.add(v)
+        return gain
+
+    def remove(self, state: SelectionState, v: int) -> "SelectionState":
+        """State with ``v`` removed (rebuilt; unions are not invertible)."""
+        return self.state_for(state.selected - {v})
+
+    # ------------------------------------------------------------------
+    def best_candidate(
+        self, state: SelectionState, candidates: Iterable[int]
+    ) -> Optional[int]:
+        """argmax marginal gain; deterministic tie-break on node id."""
+        best_v: Optional[int] = None
+        best_gain = -1.0
+        for v in sorted(set(candidates) - state.selected):
+            g = self.gain(state, v)
+            if g > best_gain + 1e-15:
+                best_gain = g
+                best_v = v
+        return best_v
+
+
+__all__ = ["ExplainabilityOracle", "SelectionState"]

@@ -1,0 +1,44 @@
+"""Feature-influence scores ``I(V_s)`` (Eqs. 3-5).
+
+Builds the boolean *influence relation* ``B[u, v]`` — node ``u``
+influences node ``v`` iff the normalized Jacobian influence
+``I2(u, v) >= θ`` — from which ``I(V_s)`` is the size of the union of
+influenced sets, a monotone submodular set function (Lemma 3.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import GvexConfig
+from repro.gnn.jacobian import influence_matrix, normalized_influence
+from repro.gnn.model import GnnClassifier
+from repro.graphs.graph import Graph
+
+
+def influence_relation(
+    model: GnnClassifier, graph: Graph, config: GvexConfig
+) -> np.ndarray:
+    """Boolean ``(n, n)`` matrix: ``B[u, v]`` iff ``I2(u, v) >= θ``."""
+    I1 = influence_matrix(model, graph, mode=config.jacobian)
+    I2 = normalized_influence(I1)
+    return I2 >= config.theta
+
+
+def influence_score(B: np.ndarray, nodes) -> int:
+    """``I(V_s)`` — Eq. 5 — number of nodes influenced by ``V_s``."""
+    idx = list(nodes)
+    if not idx:
+        return 0
+    return int(B[idx].any(axis=0).sum())
+
+
+def influenced_set(B: np.ndarray, nodes) -> np.ndarray:
+    """Boolean mask of nodes influenced by ``V_s`` (the set ``Inf(V_s)``)."""
+    idx = list(nodes)
+    if not idx:
+        return np.zeros(B.shape[1], dtype=bool)
+    return B[idx].any(axis=0)
+
+
+__all__ = ["influence_relation", "influence_score", "influenced_set"]

@@ -1,0 +1,104 @@
+"""Multi-process view generation (§A.7).
+
+Per-graph explanation phases are independent, so the label-group loop
+parallelizes trivially. Workers are forked with the model/config set
+once via a pool initializer (numpy weights are shared copy-on-write),
+so per-task overhead is one pickled graph index.
+
+Falls back to the serial path when ``processes <= 1`` or when the
+platform cannot fork.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.config import GvexConfig
+from repro.core.approx import ApproxGvex, explain_graph
+from repro.core.psum import summarize
+from repro.gnn.model import GnnClassifier
+from repro.graphs.database import GraphDatabase
+from repro.graphs.view import ExplanationSubgraph, ExplanationView, ViewSet
+
+_WORKER_MODEL: Optional[GnnClassifier] = None
+_WORKER_CONFIG: Optional[GvexConfig] = None
+_WORKER_DB: Optional[GraphDatabase] = None
+
+
+def _init_worker(model: GnnClassifier, config: GvexConfig, db: GraphDatabase) -> None:
+    global _WORKER_MODEL, _WORKER_CONFIG, _WORKER_DB
+    _WORKER_MODEL = model
+    _WORKER_CONFIG = config
+    _WORKER_DB = db
+
+
+def _explain_one(task: Tuple[int, int]) -> Tuple[int, int, Optional[ExplanationSubgraph]]:
+    index, label = task
+    assert _WORKER_MODEL is not None and _WORKER_CONFIG is not None
+    assert _WORKER_DB is not None
+    result = explain_graph(
+        _WORKER_MODEL,
+        _WORKER_DB[index],
+        label,
+        _WORKER_CONFIG,
+        graph_index=index,
+    )
+    return index, label, result.subgraph
+
+
+def explain_database_parallel(
+    db: GraphDatabase,
+    model: GnnClassifier,
+    config: Optional[GvexConfig] = None,
+    labels: Optional[Iterable[int]] = None,
+    processes: int = 2,
+    predicted: Optional[Sequence[Optional[int]]] = None,
+) -> ViewSet:
+    """Parallel ApproxGVEX over a database (per-graph coverage scope).
+
+    Semantically identical to :meth:`ApproxGvex.explain`; only the
+    explanation phase is distributed — the Psum summarize step runs in
+    the parent (it needs the whole label group's subgraphs).
+    """
+    config = config if config is not None else GvexConfig()
+    if predicted is None:
+        predicted = [model.predict(g) for g in db]
+
+    groups: Dict[int, List[int]] = {}
+    for i, l in enumerate(predicted):
+        if l is None:
+            continue
+        groups.setdefault(int(l), []).append(i)
+    wanted = sorted(groups) if labels is None else sorted(set(labels))
+
+    if processes <= 1:
+        return ApproxGvex(model, config, labels=wanted).explain(db, predicted)
+
+    tasks = [(i, label) for label in wanted for i in groups.get(label, [])]
+    try:
+        ctx = mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return ApproxGvex(model, config, labels=wanted).explain(db, predicted)
+
+    subgraphs: Dict[int, List[ExplanationSubgraph]] = {l: [] for l in wanted}
+    with ctx.Pool(
+        processes=processes, initializer=_init_worker, initargs=(model, config, db)
+    ) as pool:
+        for index, label, subgraph in pool.map(_explain_one, tasks):
+            if subgraph is not None:
+                subgraphs[label].append(subgraph)
+
+    views = ViewSet()
+    for label in wanted:
+        subs = sorted(subgraphs[label], key=lambda s: s.graph_index)
+        view = ExplanationView(label=label, subgraphs=subs)
+        psum = summarize([s.subgraph for s in subs], config)
+        view.patterns = psum.patterns
+        view.edge_loss = psum.edge_loss
+        view.score = sum(s.score for s in subs)
+        views.add(view)
+    return views
+
+
+__all__ = ["explain_database_parallel"]

@@ -1,0 +1,350 @@
+"""``StreamGVEX`` — single-pass streaming view maintenance (Algorithm 3, §5).
+
+Processes each graph's nodes as a stream in batches. The selected set
+``V_S`` acts as a size-``u_l`` cache maintained by ``IncUpdateVS``
+(Procedure 4): once full, an arriving node ``v`` replaces the
+cheapest-to-lose incumbent ``v⁻`` only when ``gain(v) >= 2 · loss(v⁻)``
+— the swap rule that preserves the streaming 1/4-approximation
+(Theorem 5.1). ``IncUpdateP`` (Procedure 5) keeps the higher-tier
+pattern set covering ``V_S``, mining new candidates only from the
+arriving node's ``r``-hop neighborhood (``IncPGen``).
+
+``IncEVerify`` is realized by rebuilding the explainability oracle on
+the *seen* induced subgraph once per batch: the oracle's scores on the
+seen prefix are exactly the paper's incrementally-maintained
+influence/diversity values (we trade the paper's incremental Jacobian
+update for a per-batch recompute; semantics are identical, and the
+batch size bounds the extra cost).
+
+Every batch boundary records an :class:`AnytimeSnapshot`, giving the
+"anytime" view quality/runtime curves of Figures 9(f) and 12.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.config import GvexConfig, VERIFY_PAPER
+from repro.core.explainability import ExplainabilityOracle, SelectionState
+from repro.core.psum import summarize
+from repro.core.verifiers import GnnVerifier, vp_extend
+from repro.gnn.model import GnnClassifier
+from repro.graphs.database import GraphDatabase
+from repro.graphs.graph import Graph
+from repro.graphs.pattern import Pattern
+from repro.graphs.view import ExplanationSubgraph, ExplanationView, ViewSet
+from repro.mining.mdl import MinedPattern
+from repro.mining.pgen import mine_incremental, mine_patterns
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class AnytimeSnapshot:
+    """State of the stream after one batch (for anytime curves)."""
+
+    fraction_seen: float
+    selected_nodes: int
+    objective: float
+    patterns: int
+    elapsed_seconds: float
+
+
+@dataclass
+class StreamResult:
+    """Per-graph streaming outcome."""
+
+    subgraph: Optional[ExplanationSubgraph]
+    patterns: List[Pattern] = field(default_factory=list)
+    snapshots: List[AnytimeSnapshot] = field(default_factory=list)
+
+
+class StreamGvex:
+    """Streaming view generation with anytime guarantees."""
+
+    def __init__(
+        self,
+        model: GnnClassifier,
+        config: Optional[GvexConfig] = None,
+        labels: Optional[Iterable[int]] = None,
+        seed: RngLike = None,
+    ) -> None:
+        self.model = model
+        self.config = config if config is not None else GvexConfig()
+        self.labels = None if labels is None else sorted(set(labels))
+        self._rng = ensure_rng(seed)
+
+    # ------------------------------------------------------------------
+    # per-graph stream (Algorithm 3)
+    # ------------------------------------------------------------------
+    def explain_graph_stream(
+        self,
+        graph: Graph,
+        label: int,
+        graph_index: int = 0,
+        order: Optional[Sequence[int]] = None,
+        lower: Optional[int] = None,
+        upper: Optional[int] = None,
+    ) -> StreamResult:
+        """Run the node stream for one graph.
+
+        ``order`` fixes the arrival order (default: natural node order);
+        StreamGVEX's guarantees are order-independent (§A.8), which
+        Figure 12's bench verifies empirically.
+        """
+        bounds = self.config.coverage_for(label)
+        lower = bounds.lower if lower is None else lower
+        upper = bounds.upper if upper is None else upper
+        upper = min(upper, graph.n_nodes)
+        if graph.n_nodes == 0 or upper == 0:
+            return StreamResult(subgraph=None)
+        stream = list(order) if order is not None else list(graph.nodes())
+        if sorted(stream) != list(graph.nodes()):
+            raise ValueError("order must be a permutation of the graph's nodes")
+
+        start = time.perf_counter()
+        config = self.config
+        batch = config.stream_batch_size
+        verifier = GnnVerifier(self.model, graph)
+        mode = config.verification
+
+        seen: List[int] = []
+        selected: Set[int] = set()  # global node ids
+        backup: Set[int] = set()
+        patterns: List[Pattern] = []
+        snapshots: List[AnytimeSnapshot] = []
+        oracle: Optional[ExplainabilityOracle] = None
+        state: Optional[SelectionState] = None
+        to_local: Dict[int, int] = {}
+
+        for batch_start in range(0, len(stream), batch):
+            chunk = stream[batch_start : batch_start + batch]
+            seen.extend(chunk)
+            # IncEVerify: refresh influence/diversity on the seen prefix
+            seen_sub, seen_ids = graph.induced_subgraph(seen)
+            to_local = {g: l for l, g in enumerate(seen_ids)}
+            oracle = ExplainabilityOracle(self.model, seen_sub, config)
+            state = oracle.state_for([to_local[v] for v in selected])
+
+            for v in chunk:
+                backup.add(v)
+                if mode == VERIFY_PAPER and not vp_extend(
+                    v,
+                    frozenset(selected),
+                    verifier,
+                    label,
+                    graph.n_nodes + 1,  # size handled by IncUpdateVS
+                    mode,
+                ):
+                    continue
+                took = self._inc_update_vs(
+                    v, selected, backup, oracle, state, to_local, upper,
+                    seen_sub, seen_ids, patterns,
+                )
+                if took:
+                    self._inc_update_p(
+                        graph, selected, patterns, config
+                    )
+            assert oracle is not None and state is not None
+            snapshots.append(
+                AnytimeSnapshot(
+                    fraction_seen=len(seen) / graph.n_nodes,
+                    selected_nodes=len(selected),
+                    objective=oracle.value_of_state(state),
+                    patterns=len(patterns),
+                    elapsed_seconds=time.perf_counter() - start,
+                )
+            )
+
+        # post-processing: meet the lower bound from the backup pool
+        assert oracle is not None and state is not None
+        while len(selected) < lower:
+            candidates = [
+                to_local[v] for v in backup - selected if v in to_local
+            ]
+            v_local = oracle.best_candidate(state, candidates)
+            if v_local is None:
+                break
+            oracle.add(state, v_local)
+            selected.add(_global_of(to_local, v_local))
+        if len(selected) < lower or not selected:
+            return StreamResult(subgraph=None, patterns=patterns, snapshots=snapshots)
+
+        # consistency repair: the stream admits nodes in arrival order, so
+        # the cache may lack the class-evidencing region; extend toward it
+        # (hill-climb on the subgraph's class probability) within u_l
+        while (
+            len(selected) < upper
+            and verifier.label_of_nodes(selected) != label
+        ):
+            pool = sorted(set(graph.nodes()) - selected)
+            if not pool:
+                break
+            best = max(
+                pool,
+                key=lambda v: (
+                    verifier.subset_probability(selected | {v}, label),
+                    -v,
+                ),
+            )
+            if (
+                verifier.subset_probability(selected | {best}, label)
+                <= verifier.subset_probability(selected, label) + 1e-12
+            ):
+                break
+            selected.add(best)
+            if best in to_local:
+                oracle.add(state, to_local[best])
+
+        nodes = tuple(sorted(selected))
+        sub, _ = graph.induced_subgraph(nodes)
+        consistent, counterfactual = verifier.check(nodes, label)
+        self._inc_update_p(graph, selected, patterns, config)
+        score = oracle.value_of_state(state)
+        return StreamResult(
+            subgraph=ExplanationSubgraph(
+                graph_index=graph_index,
+                nodes=nodes,
+                subgraph=sub,
+                consistent=consistent,
+                counterfactual=counterfactual,
+                score=score,
+            ),
+            patterns=patterns,
+            snapshots=snapshots,
+        )
+
+    # ------------------------------------------------------------------
+    def _inc_update_vs(
+        self,
+        v: int,
+        selected: Set[int],
+        backup: Set[int],
+        oracle: ExplainabilityOracle,
+        state: SelectionState,
+        to_local: Dict[int, int],
+        upper: int,
+        seen_sub: Graph,
+        seen_ids: List[int],
+        patterns: Sequence[Pattern],
+    ) -> bool:
+        """Procedure 4. Returns True when ``v`` entered ``V_S``."""
+        v_local = to_local[v]
+        # (a) cache not full: just add
+        if len(selected) < upper:
+            oracle.add(state, v_local)
+            selected.add(v)
+            return True
+        # (b) v contributes no new pattern structure: skip
+        delta = mine_incremental(
+            seen_sub,
+            new_node=v_local,
+            radius=self.config.stream_radius,
+            known=patterns,
+            max_size=self.config.max_pattern_size,
+        )
+        if not delta:
+            return False
+        # (c) swap against the cheapest incumbent when gain >= 2 * loss
+        local_selected = [to_local[u] for u in selected]
+        v_minus_local = min(
+            local_selected, key=lambda u: (oracle.loss(state, u), u)
+        )
+        reduced = oracle.remove(state, v_minus_local)
+        gain_v = oracle.gain(reduced, v_local)
+        gain_v_minus = oracle.gain(reduced, v_minus_local)
+        if gain_v >= 2.0 * gain_v_minus:
+            v_minus_global = seen_ids[v_minus_local]
+            selected.discard(v_minus_global)
+            backup.add(v_minus_global)
+            oracle.add(reduced, v_local)
+            selected.add(v)
+            state.selected = reduced.selected
+            state.influenced = reduced.influenced
+            state.diversity = reduced.diversity
+            return True
+        return False
+
+    def _inc_update_p(
+        self,
+        graph: Graph,
+        selected: Set[int],
+        patterns: List[Pattern],
+        config: GvexConfig,
+    ) -> None:
+        """Procedure 5: keep patterns covering ``V_S`` with small edge loss.
+
+        Re-runs the weighted-cover greedy on the (≤ u_l node) induced
+        subgraph of ``V_S``, with the incumbent patterns plus freshly
+        mined candidates as the pool; incumbents that no longer
+        contribute coverage are swapped out exactly as the paper's
+        case analysis prescribes.
+        """
+        if not selected:
+            return
+        vs_sub, _ = graph.induced_subgraph(selected)
+        pool: List[MinedPattern] = [
+            MinedPattern(p, support=1, embeddings=1) for p in patterns
+        ]
+        pool.extend(
+            mine_patterns(
+                [vs_sub],
+                max_size=config.max_pattern_size,
+                min_support=1,
+                max_candidates=50,
+            )
+        )
+        result = summarize([vs_sub], config, candidates=pool)
+        patterns[:] = result.patterns
+
+    # ------------------------------------------------------------------
+    # database-level driver
+    # ------------------------------------------------------------------
+    def explain(
+        self,
+        db: GraphDatabase,
+        predicted: Optional[Sequence[Optional[int]]] = None,
+        shuffle_streams: bool = False,
+    ) -> ViewSet:
+        """Generate explanation views for every label of interest."""
+        if predicted is None:
+            predicted = [self.model.predict(g) for g in db]
+        groups: Dict[int, List[int]] = {}
+        for i, l in enumerate(predicted):
+            if l is None:
+                continue
+            groups.setdefault(int(l), []).append(i)
+
+        labels = self.labels if self.labels is not None else sorted(groups)
+        views = ViewSet()
+        for label in labels:
+            view = ExplanationView(label=label)
+            for idx in groups.get(label, []):
+                graph = db[idx]
+                order = None
+                if shuffle_streams:
+                    order = list(self._rng.permutation(graph.n_nodes))
+                result = self.explain_graph_stream(
+                    graph, label, graph_index=idx, order=order
+                )
+                if result.subgraph is not None:
+                    view.subgraphs.append(result.subgraph)
+            psum = summarize([s.subgraph for s in view.subgraphs], self.config)
+            view.patterns = psum.patterns
+            view.edge_loss = psum.edge_loss
+            view.score = sum(s.score for s in view.subgraphs)
+            views.add(view)
+        return views
+
+
+def _global_of(to_local: Dict[int, int], local: int) -> int:
+    for g, l in to_local.items():
+        if l == local:
+            return g
+    raise KeyError(local)
+
+
+__all__ = ["StreamGvex", "StreamResult", "AnytimeSnapshot"]

@@ -1,0 +1,184 @@
+"""Verification primitives: ``EVerify``, ``VpExtend``, and full view
+verification (§3.3, §4).
+
+``GnnVerifier`` is the paper's ``EVerify`` operator — it answers "what
+label does M assign to this node-induced subgraph / to the remainder of
+the graph" with memoization, since the greedy loop re-queries the same
+sets. ``vp_extend`` is Procedure 2 with the three operating modes
+discussed in DESIGN.md §3. ``verify_view`` is the Lemma 3.1 decision
+procedure (constraints C1-C3), used as a correctness oracle in tests
+and exposed for users who assemble views by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import GvexConfig, VERIFY_NONE, VERIFY_PAPER, VERIFY_SOFT
+from repro.gnn.model import GnnClassifier
+from repro.graphs.graph import Graph
+from repro.graphs.view import ExplanationView
+from repro.matching.coverage import CoverageIndex
+
+
+class GnnVerifier:
+    """Cached GNN inference on node subsets of one graph (``EVerify``)."""
+
+    def __init__(self, model: GnnClassifier, graph: Graph) -> None:
+        self.model = model
+        self.graph = graph
+        self.original_label: Optional[int] = model.predict(graph)
+        self._subset_probas: Dict[FrozenSet[int], np.ndarray] = {}
+        self._remainder_probas: Dict[FrozenSet[int], np.ndarray] = {}
+        self.inference_calls = 0
+
+    # ------------------------------------------------------------------
+    def _subset_proba(self, key: FrozenSet[int]) -> np.ndarray:
+        if key not in self._subset_probas:
+            sub, _ = self.graph.induced_subgraph(key)
+            self.inference_calls += 1
+            self._subset_probas[key] = self.model.predict_proba(sub)
+        return self._subset_probas[key]
+
+    def _remainder_proba(self, key: FrozenSet[int]) -> np.ndarray:
+        if key not in self._remainder_probas:
+            rest, _ = self.graph.remove_nodes(key)
+            self.inference_calls += 1
+            self._remainder_probas[key] = self.model.predict_proba(rest)
+        return self._remainder_probas[key]
+
+    def label_of_nodes(self, nodes: Iterable[int]) -> Optional[int]:
+        """``M(G_s)`` for the node-induced subgraph on ``nodes``."""
+        key = frozenset(int(v) for v in nodes)
+        if not key:
+            return None
+        return int(np.argmax(self._subset_proba(key)))
+
+    def label_of_remainder(self, nodes: Iterable[int]) -> Optional[int]:
+        """``M(G \\ G_s)`` — label of the graph with ``nodes`` removed."""
+        key = frozenset(int(v) for v in nodes)
+        if len(key) >= self.graph.n_nodes:
+            return None  # empty remainder: M(∅)
+        return int(np.argmax(self._remainder_proba(key)))
+
+    def subset_probability(self, nodes: Iterable[int], label: int) -> float:
+        """``P(M(G_s) = label)`` — drives consistency hill-climbing."""
+        key = frozenset(int(v) for v in nodes)
+        if not key:
+            return 1.0 / self.model.n_classes
+        return float(self._subset_proba(key)[label])
+
+    def remainder_probability(self, nodes: Iterable[int], label: int) -> float:
+        """``P(M(G \\ G_s) = label)`` — drives counterfactual steering."""
+        key = frozenset(int(v) for v in nodes)
+        if len(key) >= self.graph.n_nodes:
+            return 1.0 / self.model.n_classes
+        return float(self._remainder_proba(key)[label])
+
+    def check(self, nodes: Iterable[int], label: int) -> Tuple[bool, bool]:
+        """(consistent, counterfactual) for ``nodes`` w.r.t. ``label`` (§2.2)."""
+        key = frozenset(int(v) for v in nodes)
+        if not key:
+            return False, False
+        consistent = self.label_of_nodes(key) == label
+        counterfactual = self.label_of_remainder(key) != label
+        return consistent, counterfactual
+
+
+def vp_extend(
+    v: int,
+    selected: FrozenSet[int],
+    verifier: GnnVerifier,
+    label: int,
+    upper_bound: int,
+    mode: str = VERIFY_SOFT,
+) -> bool:
+    """Procedure 2: may ``selected ∪ {v}`` extend the explanation subgraph?
+
+    * ``paper`` — literal Procedure 2: the extension must already be
+      consistent (``M(G_t) = M(G)``) and counterfactual
+      (``M(G \\ G_t) ≠ M(G)``), and stay under the size bound.
+    * ``soft`` — only the size bound gates extension; consistency /
+      counterfactual are recorded by the caller after each step.
+    * ``none`` — size bound only (alias of soft at this level).
+    """
+    if v in selected:
+        return False
+    if len(selected) + 1 > upper_bound:
+        return False
+    if mode in (VERIFY_SOFT, VERIFY_NONE):
+        return True
+    if mode == VERIFY_PAPER:
+        consistent, counterfactual = verifier.check(selected | {v}, label)
+        return consistent and counterfactual
+    raise ValueError(f"unknown verification mode {mode!r}")
+
+
+@dataclass(frozen=True)
+class ViewVerification:
+    """Outcome of the Lemma 3.1 three-constraint check."""
+
+    c1_patterns_cover_nodes: bool
+    c2_explanations_valid: bool
+    c3_properly_covers: bool
+    total_nodes: int
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.c1_patterns_cover_nodes
+            and self.c2_explanations_valid
+            and self.c3_properly_covers
+        )
+
+
+def verify_view(
+    view: ExplanationView,
+    graphs: Sequence[Graph],
+    model: GnnClassifier,
+    config: GvexConfig,
+    label: Optional[int] = None,
+    per_graph_coverage: bool = True,
+) -> ViewVerification:
+    """Check constraints C1-C3 for an assembled explanation view.
+
+    ``graphs`` is the label group, indexed by each subgraph's
+    ``graph_index``. ``label`` defaults to the model's prediction per
+    graph. ``per_graph_coverage`` selects the coverage-scope reading
+    (DESIGN.md §3): per graph (default, matches Algorithm 1's stopping
+    rule) or per label group (Problem 1's aggregate range).
+    """
+    # C2: every subgraph consistent + counterfactual
+    c2 = True
+    for s in view.subgraphs:
+        graph = graphs[s.graph_index]
+        verifier = GnnVerifier(model, graph)
+        target = label if label is not None else verifier.original_label
+        consistent, counterfactual = verifier.check(s.nodes, target)
+        if not (consistent and counterfactual):
+            c2 = False
+            break
+
+    # C1: patterns cover all subgraph nodes
+    hosts = [s.subgraph for s in view.subgraphs]
+    if hosts:
+        index = CoverageIndex(hosts)
+        c1 = index.covers_all_nodes(view.patterns)
+    else:
+        c1 = not view.patterns  # empty view is vacuously a graph view
+
+    # C3: proper coverage
+    bounds = config.coverage_for(view.label)
+    total = view.n_subgraph_nodes
+    if per_graph_coverage:
+        c3 = all(bounds.contains(s.n_nodes) for s in view.subgraphs)
+    else:
+        c3 = bounds.contains(total)
+
+    return ViewVerification(c1, c2, c3, total)
+
+
+__all__ = ["GnnVerifier", "vp_extend", "ViewVerification", "verify_view"]

@@ -1,0 +1,42 @@
+"""Synthetic analogues of the paper's seven datasets (Table 3)."""
+
+from repro.datasets.malware import malnet
+from repro.datasets.molecules import mutagenicity, pcqm4m
+from repro.datasets.products import products
+from repro.datasets.proteins import enzymes
+from repro.datasets.registry import (
+    DATASETS,
+    FIDELITY_DATASETS,
+    DatasetInfo,
+    dataset_info,
+    load_dataset,
+)
+from repro.datasets.social import reddit_binary
+from repro.datasets.statistics import (
+    DatasetStatistics,
+    compute_statistics,
+    statistics_table,
+)
+from repro.datasets.synthetic import ba_synthetic
+from repro.datasets.zoo import TrainedClassifier, clear_cache, get_trained
+
+__all__ = [
+    "mutagenicity",
+    "pcqm4m",
+    "reddit_binary",
+    "enzymes",
+    "malnet",
+    "products",
+    "ba_synthetic",
+    "DATASETS",
+    "FIDELITY_DATASETS",
+    "DatasetInfo",
+    "load_dataset",
+    "dataset_info",
+    "DatasetStatistics",
+    "compute_statistics",
+    "statistics_table",
+    "TrainedClassifier",
+    "get_trained",
+    "clear_cache",
+]

@@ -1,0 +1,100 @@
+"""ENZYMES analogue (Table 3): 6-class protein structure graphs.
+
+The real ENZYMES graphs are protein tertiary structures whose nodes are
+secondary-structure elements with 3 one-hot features (helix / sheet /
+turn). Our generator wires a random backbone of typed elements and
+plants one of six class-characteristic interaction motifs, matching the
+explanation views of Fig. 13 (each enzyme class shows a distinct
+substructure).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+import numpy as np
+
+from repro.graphs.database import GraphDatabase
+from repro.graphs.generators import attach_motif, chain_graph, ring_graph, star_graph
+from repro.graphs.graph import Graph
+from repro.utils.rng import RngLike, ensure_rng
+
+HELIX, SHEET, TURN = 0, 1, 2
+N_CLASSES = 6
+
+
+def _triangle(t: int) -> Graph:
+    g = Graph([t, t, t])
+    g.add_edge(0, 1)
+    g.add_edge(1, 2)
+    g.add_edge(2, 0)
+    return g
+
+
+def _square(t: int) -> Graph:
+    return ring_graph([t] * 4)
+
+
+def _mixed_path() -> Graph:
+    return chain_graph([HELIX, SHEET, HELIX, SHEET])
+
+
+def _bowtie(t: int) -> Graph:
+    g = Graph([t] * 5)
+    for u, v in [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]:
+        g.add_edge(u, v)
+    return g
+
+
+def class_motif(label: int) -> Graph:
+    """The planted motif for each enzyme class (ground truth for Fig. 13)."""
+    makers: List[Callable[[], Graph]] = [
+        lambda: _triangle(HELIX),
+        lambda: _square(SHEET),
+        lambda: Graph.__new__(Graph),  # placeholder, replaced below
+        lambda: _mixed_path(),
+        lambda: ring_graph([TURN] * 5),
+        lambda: _bowtie(SHEET),
+    ]
+    if label == 2:
+        return star_graph(3, center_type=TURN, leaf_type=HELIX)
+    return makers[label]()
+
+
+def enzymes(
+    n_graphs: int = 72,
+    min_size: int = 6,
+    max_size: int = 12,
+    seed: RngLike = 0,
+) -> GraphDatabase:
+    """ENZYMES analogue: 6 classes, 3 one-hot node features."""
+    rng = ensure_rng(seed)
+    graphs: List[Graph] = []
+    labels: List[int] = []
+    for i in range(n_graphs):
+        label = i % N_CLASSES
+        size = int(rng.integers(min_size, max_size + 1))
+        backbone_types = rng.integers(0, 3, size=size).tolist()
+        host = chain_graph(backbone_types)
+        # a few long-range contacts, as in folded proteins
+        for _ in range(max(size // 4, 1)):
+            u, v = rng.integers(0, size, size=2)
+            if abs(int(u) - int(v)) > 1 and not host.has_edge(int(u), int(v)):
+                host.add_edge(int(u), int(v))
+        anchor = int(rng.integers(0, host.n_nodes))
+        g, _ = attach_motif(host, class_motif(label), anchor=anchor, seed=rng)
+        graphs.append(_with_onehot3(g))
+        labels.append(label)
+    return GraphDatabase(graphs, labels=labels, name="enzymes")
+
+
+def _with_onehot3(g: Graph) -> Graph:
+    X = np.zeros((g.n_nodes, 3))
+    X[np.arange(g.n_nodes), g.node_types] = 1.0
+    out = Graph(g.node_types, features=X)
+    for u, v, t in g.edges():
+        out.add_edge(u, v, t)
+    return out
+
+
+__all__ = ["enzymes", "class_motif", "N_CLASSES", "HELIX", "SHEET", "TURN"]

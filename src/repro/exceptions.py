@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro (GVEX) library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Structural problem with a graph (bad node id, malformed edge...)."""
+
+
+class PatternError(ReproError):
+    """Problem with a graph pattern (empty, disconnected, bad types...)."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid GVEX configuration (thresholds, coverage bounds...)."""
+
+
+class ModelError(ReproError):
+    """Problem with a GNN model (shape mismatch, untrained use...)."""
+
+
+class DatasetError(ReproError):
+    """Problem constructing or loading a dataset."""
+
+
+class ExplanationError(ReproError):
+    """An explainer could not produce a valid explanation."""
+
+
+class MatchingError(ReproError):
+    """Problem during subgraph isomorphism / pattern matching."""
+
+
+class MiningError(ReproError):
+    """Problem during pattern mining."""

@@ -1,0 +1,183 @@
+"""GNNExplainer baseline (Ying et al., NeurIPS 2019).
+
+Learns a soft mask over edges (and a global mask over input feature
+dimensions) that maximizes the mutual information between the masked
+prediction and the original one — in practice, minimizing the
+cross-entropy of the masked graph's prediction plus size and entropy
+regularizers on the masks.
+
+Implemented against our numpy GNN: the model's backward pass exposes
+gradients w.r.t. the aggregation matrix ``Q`` and input features ``X``,
+which chain into the mask logits through the sigmoid. Edge masks are
+applied multiplicatively to the *pre-normalized* propagation weights
+(self-loops stay unmasked), matching the common PyG implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.explainers.base import Explainer, ExplainerCapabilities
+from repro.gnn.loss import softmax_cross_entropy
+from repro.gnn.model import GnnClassifier
+from repro.gnn.optim import Adam
+from repro.graphs.graph import Graph
+from repro.graphs.view import ExplanationSubgraph
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30, 30)))
+
+
+class GnnExplainer(Explainer):
+    """Soft-mask learning explainer ("GE" in the figures)."""
+
+    capabilities = ExplainerCapabilities(
+        name="GNNExplainer",
+        short_name="GE",
+        requires_learning=True,
+        tasks="GC/NC",
+        target="E/NF",
+        model_agnostic=True,
+        label_specific=False,
+        size_bound=False,
+        coverage=False,
+        configurable=False,
+        queryable=False,
+    )
+
+    def __init__(
+        self,
+        model: GnnClassifier,
+        epochs: int = 80,
+        lr: float = 0.05,
+        size_weight: float = 0.05,
+        entropy_weight: float = 0.1,
+        feature_size_weight: float = 0.02,
+        seed: RngLike = 0,
+    ) -> None:
+        super().__init__(model)
+        self.epochs = epochs
+        self.lr = lr
+        self.size_weight = size_weight
+        self.entropy_weight = entropy_weight
+        self.feature_size_weight = feature_size_weight
+        self._rng = ensure_rng(seed)
+
+    # ------------------------------------------------------------------
+    def explain_graph(
+        self,
+        graph: Graph,
+        label: Optional[int] = None,
+        max_nodes: Optional[int] = None,
+        graph_index: int = 0,
+    ) -> Optional[ExplanationSubgraph]:
+        if graph.n_nodes == 0:
+            return None
+        label = self._resolve_label(graph, label)
+        edge_weights, _ = self.learn_masks(graph, label)
+        nodes = self._select_nodes(graph, edge_weights, max_nodes)
+        if not nodes:
+            return None
+        return self._finalize(graph, nodes, label, graph_index)
+
+    # ------------------------------------------------------------------
+    def learn_masks(
+        self, graph: Graph, label: int
+    ) -> Tuple[Dict[Tuple[int, int], float], np.ndarray]:
+        """Optimize the masks; returns (edge weights, feature weights)."""
+        model = self.model
+        X = model.features_for(graph)
+        Q = model.aggregation_matrix(graph)
+        edges = list(graph.edge_types.keys())
+        if not edges:
+            # no edges to mask: every node is its own explanation unit
+            return {}, np.ones(X.shape[1])
+
+        edge_logits = self._rng.normal(0.0, 0.1, size=len(edges))
+        feat_logits = self._rng.normal(2.0, 0.1, size=X.shape[1])
+        optimizer = Adam(lr=self.lr)
+
+        for _ in range(self.epochs):
+            m = _sigmoid(edge_logits)
+            f = _sigmoid(feat_logits)
+            Qm = self._masked_q(Q, edges, m, graph)
+            Xm = X * f[None, :]
+            cache = model.forward(Xm, Qm)
+            loss, dlogits = softmax_cross_entropy(cache.logits, label)
+            back = model.backward(cache, dlogits, need_input_grads=True)
+            d_edge, d_feat = self._mask_gradients(
+                graph, Q, X, edges, m, f, back.dQ, back.dX
+            )
+            # size + entropy regularizers
+            d_edge += self.size_weight * m * (1 - m)
+            ent_grad = np.log((m + 1e-9) / (1 - m + 1e-9)) * m * (1 - m)
+            d_edge -= self.entropy_weight * ent_grad  # minimize entropy
+            d_feat += self.feature_size_weight * f * (1 - f)
+            optimizer.step([edge_logits, feat_logits], [d_edge, d_feat])
+
+        weights = {e: float(w) for e, w in zip(edges, _sigmoid(edge_logits))}
+        return weights, _sigmoid(feat_logits)
+
+    def _masked_q(
+        self,
+        Q: np.ndarray,
+        edges: List[Tuple[int, int]],
+        mask: np.ndarray,
+        graph: Graph,
+    ) -> np.ndarray:
+        Qm = Q.copy()
+        for (u, v), w in zip(edges, mask):
+            Qm[u, v] = Q[u, v] * w
+            if not graph.directed:
+                Qm[v, u] = Q[v, u] * w
+        return Qm
+
+    def _mask_gradients(
+        self,
+        graph: Graph,
+        Q: np.ndarray,
+        X: np.ndarray,
+        edges: List[Tuple[int, int]],
+        m: np.ndarray,
+        f: np.ndarray,
+        dQ: np.ndarray,
+        dX: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        d_edge = np.empty_like(m)
+        for i, (u, v) in enumerate(edges):
+            g = dQ[u, v] * Q[u, v]
+            if not graph.directed:
+                g += dQ[v, u] * Q[v, u]
+            d_edge[i] = g * m[i] * (1 - m[i])
+        d_feat = (dX * X).sum(axis=0) * f * (1 - f)
+        return d_edge, d_feat
+
+    def _select_nodes(
+        self,
+        graph: Graph,
+        edge_weights: Dict[Tuple[int, int], float],
+        max_nodes: Optional[int],
+    ) -> List[int]:
+        """Take highest-weight edges until the node budget fills."""
+        budget = max_nodes if max_nodes is not None else graph.n_nodes
+        if not edge_weights:
+            return list(graph.nodes())[:budget]
+        chosen: List[int] = []
+        seen = set()
+        for (u, v), _ in sorted(
+            edge_weights.items(), key=lambda kv: -kv[1]
+        ):
+            for node in (u, v):
+                if node not in seen:
+                    if len(chosen) >= budget:
+                        return chosen
+                    seen.add(node)
+                    chosen.append(node)
+        return chosen
+
+
+__all__ = ["GnnExplainer"]

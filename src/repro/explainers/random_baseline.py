@@ -1,0 +1,65 @@
+"""Random baseline: a random connected subgraph of the requested size.
+
+Not in the paper's competitor list, but a standard sanity floor — any
+real explainer must beat it on fidelity (a cheap ablation check for
+the harness and tests).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.explainers.base import Explainer, ExplainerCapabilities
+from repro.gnn.model import GnnClassifier
+from repro.graphs.graph import Graph
+from repro.graphs.view import ExplanationSubgraph
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class RandomExplainer(Explainer):
+    """Uniformly random connected node subset ("RND")."""
+
+    capabilities = ExplainerCapabilities(
+        name="Random",
+        short_name="RND",
+        requires_learning=False,
+        tasks="GC/NC",
+        target="Subgraph",
+        model_agnostic=True,
+        label_specific=False,
+        size_bound=True,
+        coverage=False,
+        configurable=False,
+        queryable=False,
+    )
+
+    def __init__(self, model: GnnClassifier, seed: RngLike = 0) -> None:
+        super().__init__(model)
+        self._rng = ensure_rng(seed)
+
+    def explain_graph(
+        self,
+        graph: Graph,
+        label: Optional[int] = None,
+        max_nodes: Optional[int] = None,
+        graph_index: int = 0,
+    ) -> Optional[ExplanationSubgraph]:
+        if graph.n_nodes == 0:
+            return None
+        label = self._resolve_label(graph, label)
+        budget = max_nodes if max_nodes is not None else max(graph.n_nodes // 2, 1)
+        budget = min(budget, graph.n_nodes)
+        start = int(self._rng.integers(0, graph.n_nodes))
+        chosen: Set[int] = {start}
+        frontier: List[int] = sorted(graph.all_neighbors(start))
+        while frontier and len(chosen) < budget:
+            idx = int(self._rng.integers(0, len(frontier)))
+            v = frontier.pop(idx)
+            if v in chosen:
+                continue
+            chosen.add(v)
+            frontier.extend(w for w in graph.all_neighbors(v) if w not in chosen)
+        return self._finalize(graph, chosen, label, graph_index)
+
+
+__all__ = ["RandomExplainer"]

@@ -1,0 +1,35 @@
+"""GNN substrate: numpy message-passing classifiers, training, Jacobians."""
+
+from repro.gnn.jacobian import (
+    exact_influence,
+    expected_influence,
+    influence_matrix,
+    normalized_influence,
+)
+from repro.gnn.loss import softmax, softmax_cross_entropy
+from repro.gnn.model import GnnClassifier
+from repro.gnn.node_model import NodeGnnClassifier
+from repro.gnn.optim import Adam, Sgd
+from repro.gnn.relational import RelationalGnnClassifier
+from repro.gnn.propagation import normalized_adjacency, propagation_power
+from repro.gnn.training import LabelEncoder, Trainer, TrainingHistory, train_classifier
+
+__all__ = [
+    "GnnClassifier",
+    "NodeGnnClassifier",
+    "RelationalGnnClassifier",
+    "Trainer",
+    "TrainingHistory",
+    "LabelEncoder",
+    "train_classifier",
+    "Adam",
+    "Sgd",
+    "softmax",
+    "softmax_cross_entropy",
+    "normalized_adjacency",
+    "propagation_power",
+    "influence_matrix",
+    "expected_influence",
+    "exact_influence",
+    "normalized_influence",
+]

@@ -1,0 +1,41 @@
+"""Activation functions with paired derivatives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def relu(z: np.ndarray) -> np.ndarray:
+    return np.maximum(z, 0.0)
+
+
+def relu_grad(z: np.ndarray) -> np.ndarray:
+    """Derivative of relu evaluated at pre-activation ``z``."""
+    return (z > 0).astype(np.float64)
+
+
+def identity(z: np.ndarray) -> np.ndarray:
+    return z
+
+
+def identity_grad(z: np.ndarray) -> np.ndarray:
+    return np.ones_like(z)
+
+
+ACTIVATIONS = {
+    "relu": (relu, relu_grad),
+    "identity": (identity, identity_grad),
+}
+
+
+def get_activation(name: str):
+    """Return ``(fn, grad_fn)`` for a named activation."""
+    try:
+        return ACTIVATIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {name!r}; options: {sorted(ACTIVATIONS)}"
+        ) from None
+
+
+__all__ = ["relu", "relu_grad", "identity", "identity_grad", "get_activation"]

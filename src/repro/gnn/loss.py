@@ -1,0 +1,33 @@
+"""Losses for GNN classification."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def softmax_cross_entropy(logits: np.ndarray, label: int) -> Tuple[float, np.ndarray]:
+    """Cross-entropy of one graph's logits against an integer label.
+
+    Returns ``(loss, dlogits)`` where ``dlogits`` is the gradient of the
+    loss with respect to the logits (``softmax(logits) - onehot``).
+    """
+    probs = softmax(logits)
+    n_classes = logits.shape[-1]
+    if not 0 <= label < n_classes:
+        raise ValueError(f"label {label} out of range for {n_classes} classes")
+    loss = -float(np.log(max(probs[label], 1e-12)))
+    dlogits = probs.copy()
+    dlogits[label] -= 1.0
+    return loss, dlogits
+
+
+__all__ = ["softmax", "softmax_cross_entropy"]

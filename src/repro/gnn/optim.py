@@ -1,0 +1,92 @@
+"""Optimizers operating on flat lists of numpy parameter arrays.
+
+The paper trains its GCN with Adam (lr=0.001); we implement Adam
+(Kingma & Ba, 2015) and plain SGD with momentum from scratch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class Optimizer:
+    """Base optimizer interface: ``step(params, grads)`` updates in place."""
+
+    def step(self, params: Sequence[np.ndarray], grads: Sequence[np.ndarray]) -> None:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear any internal state (moments, step counter)."""
+
+
+class Sgd(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, lr: float = 0.01, momentum: float = 0.0) -> None:
+        self.lr = check_positive("lr", lr)
+        self.momentum = check_non_negative("momentum", momentum)
+        self._velocity: List[np.ndarray] = []
+
+    def step(self, params: Sequence[np.ndarray], grads: Sequence[np.ndarray]) -> None:
+        if len(params) != len(grads):
+            raise ValueError("params and grads length mismatch")
+        if not self._velocity:
+            self._velocity = [np.zeros_like(p) for p in params]
+        for p, g, v in zip(params, grads, self._velocity):
+            v *= self.momentum
+            v -= self.lr * g
+            p += v
+
+    def reset(self) -> None:
+        self._velocity = []
+
+
+class Adam(Optimizer):
+    """Adam optimizer (the paper's training setup uses lr=0.001)."""
+
+    def __init__(
+        self,
+        lr: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        self.lr = check_positive("lr", lr)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {beta1}, {beta2}")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = check_positive("eps", eps)
+        self._m: List[np.ndarray] = []
+        self._v: List[np.ndarray] = []
+        self._t = 0
+
+    def step(self, params: Sequence[np.ndarray], grads: Sequence[np.ndarray]) -> None:
+        if len(params) != len(grads):
+            raise ValueError("params and grads length mismatch")
+        if not self._m:
+            self._m = [np.zeros_like(p) for p in params]
+            self._v = [np.zeros_like(p) for p in params]
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(params, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def reset(self) -> None:
+        self._m = []
+        self._v = []
+        self._t = 0
+
+
+__all__ = ["Optimizer", "Sgd", "Adam"]

@@ -1,0 +1,163 @@
+"""JSON (de)serialization for graphs, patterns, views, and databases.
+
+The on-disk format is intentionally plain JSON so explanation views are
+*queryable* artifacts: a user can load them into any tool, grep them, or
+post-process them without this library.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.database import GraphDatabase
+from repro.graphs.graph import Graph
+from repro.graphs.pattern import Pattern
+from repro.graphs.view import ExplanationSubgraph, ExplanationView, ViewSet
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# graph <-> dict
+# ----------------------------------------------------------------------
+def graph_to_dict(graph: Graph) -> Dict[str, Any]:
+    d: Dict[str, Any] = {
+        "node_types": graph.node_types.tolist(),
+        "directed": graph.directed,
+        "edges": [[u, v, t] for u, v, t in graph.edges()],
+    }
+    if graph.features is not None:
+        d["features"] = graph.features.tolist()
+    return d
+
+
+def graph_from_dict(d: Dict[str, Any]) -> Graph:
+    features = None
+    if "features" in d:
+        features = np.asarray(d["features"], dtype=np.float64)
+    g = Graph(d["node_types"], features=features, directed=bool(d.get("directed")))
+    for u, v, t in d.get("edges", []):
+        g.add_edge(int(u), int(v), int(t))
+    return g
+
+
+# ----------------------------------------------------------------------
+# pattern / view <-> dict
+# ----------------------------------------------------------------------
+def pattern_to_dict(pattern: Pattern) -> Dict[str, Any]:
+    return {"graph": graph_to_dict(pattern.graph), "key": pattern.key()}
+
+
+def pattern_from_dict(d: Dict[str, Any]) -> Pattern:
+    return Pattern(graph_from_dict(d["graph"]))
+
+
+def subgraph_to_dict(s: ExplanationSubgraph) -> Dict[str, Any]:
+    return {
+        "graph_index": s.graph_index,
+        "nodes": list(s.nodes),
+        "subgraph": graph_to_dict(s.subgraph),
+        "consistent": s.consistent,
+        "counterfactual": s.counterfactual,
+        "score": s.score,
+    }
+
+
+def subgraph_from_dict(d: Dict[str, Any]) -> ExplanationSubgraph:
+    return ExplanationSubgraph(
+        graph_index=int(d["graph_index"]),
+        nodes=tuple(int(v) for v in d["nodes"]),
+        subgraph=graph_from_dict(d["subgraph"]),
+        consistent=bool(d["consistent"]),
+        counterfactual=bool(d["counterfactual"]),
+        score=float(d["score"]),
+    )
+
+
+def view_to_dict(view: ExplanationView) -> Dict[str, Any]:
+    return {
+        "label": view.label,
+        "score": view.score,
+        "subgraphs": [subgraph_to_dict(s) for s in view.subgraphs],
+        "patterns": [pattern_to_dict(p) for p in view.patterns],
+    }
+
+
+def view_from_dict(d: Dict[str, Any]) -> ExplanationView:
+    return ExplanationView(
+        label=d["label"],
+        score=float(d["score"]),
+        subgraphs=[subgraph_from_dict(s) for s in d["subgraphs"]],
+        patterns=[pattern_from_dict(p) for p in d["patterns"]],
+    )
+
+
+def viewset_to_dict(views: ViewSet) -> Dict[str, Any]:
+    return {"views": [view_to_dict(v) for v in views]}
+
+
+def viewset_from_dict(d: Dict[str, Any]) -> ViewSet:
+    vs = ViewSet()
+    for item in d["views"]:
+        vs.add(view_from_dict(item))
+    return vs
+
+
+# ----------------------------------------------------------------------
+# file helpers
+# ----------------------------------------------------------------------
+def save_json(obj: Dict[str, Any], path: PathLike) -> None:
+    Path(path).write_text(json.dumps(obj, indent=2, sort_keys=True))
+
+
+def load_json(path: PathLike) -> Dict[str, Any]:
+    return json.loads(Path(path).read_text())
+
+
+def save_database(db: GraphDatabase, path: PathLike) -> None:
+    save_json(
+        {
+            "name": db.name,
+            "labels": db.labels,
+            "graphs": [graph_to_dict(g) for g in db.graphs],
+        },
+        path,
+    )
+
+
+def load_database(path: PathLike) -> GraphDatabase:
+    d = load_json(path)
+    return GraphDatabase(
+        [graph_from_dict(g) for g in d["graphs"]],
+        labels=d.get("labels"),
+        name=d.get("name", "database"),
+    )
+
+
+def save_views(views: ViewSet, path: PathLike) -> None:
+    save_json(viewset_to_dict(views), path)
+
+
+def load_views(path: PathLike) -> ViewSet:
+    return viewset_from_dict(load_json(path))
+
+
+__all__ = [
+    "graph_to_dict",
+    "graph_from_dict",
+    "pattern_to_dict",
+    "pattern_from_dict",
+    "view_to_dict",
+    "view_from_dict",
+    "viewset_to_dict",
+    "viewset_from_dict",
+    "save_database",
+    "load_database",
+    "save_views",
+    "load_views",
+]

@@ -1,0 +1,30 @@
+"""Matching substrate: induced subgraph isomorphism and pattern coverage."""
+
+from repro.matching.canonical import deduplicate_patterns, pattern_identity
+from repro.matching.coverage import (
+    CoverageIndex,
+    PatternCoverage,
+    covered_node_count,
+    match_coverage,
+)
+from repro.matching.incremental import IncrementalMatcher
+from repro.matching.isomorphism import (
+    are_isomorphic,
+    find_isomorphisms,
+    first_isomorphism,
+    is_subgraph_isomorphic,
+)
+
+__all__ = [
+    "find_isomorphisms",
+    "first_isomorphism",
+    "is_subgraph_isomorphic",
+    "are_isomorphic",
+    "deduplicate_patterns",
+    "pattern_identity",
+    "CoverageIndex",
+    "PatternCoverage",
+    "match_coverage",
+    "covered_node_count",
+    "IncrementalMatcher",
+]

@@ -1,0 +1,151 @@
+"""Pattern coverage — the paper's ``PMatch`` primitive operator (§4).
+
+Given patterns and host graphs (typically the explanation subgraphs of
+one label group), computes which host nodes/edges are *covered*: a node
+``v`` is covered by ``P`` when some matching maps a pattern node onto
+``v`` (§2.1). Used to check constraint C1 (patterns cover all nodes of
+``G_s``), C3 (proper coverage counts), and Psum's edge-loss weights.
+
+Match enumeration is capped (``match_cap``) to bound worst-case cost on
+pathological hosts; enumeration also stops early once every host node
+is covered, which is the common case for the small explanation
+subgraphs GVEX produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.graphs.graph import Graph
+from repro.graphs.pattern import Pattern
+from repro.matching.canonical import pattern_identity
+from repro.matching.isomorphism import find_isomorphisms
+
+#: (host index, node id)
+NodeRef = Tuple[int, int]
+#: (host index, canonical edge key)
+EdgeRef = Tuple[int, Tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class PatternCoverage:
+    """Host nodes and edges covered by one pattern."""
+
+    nodes: FrozenSet[NodeRef]
+    edges: FrozenSet[EdgeRef]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.edges)
+
+
+def match_coverage(
+    pattern: Pattern, host: Graph, host_index: int = 0, match_cap: int = 10_000
+) -> PatternCoverage:
+    """Coverage of a single pattern over a single host graph."""
+    covered_nodes: Set[NodeRef] = set()
+    covered_edges: Set[EdgeRef] = set()
+    p = pattern.graph
+    n_host = host.n_nodes
+    count = 0
+    for mapping in find_isomorphisms(pattern, host):
+        count += 1
+        for hv in mapping.values():
+            covered_nodes.add((host_index, hv))
+        for (pu, pv) in p.edge_types:
+            hu, hv = mapping[pu], mapping[pv]
+            if not host.directed and hu > hv:
+                hu, hv = hv, hu
+            covered_edges.add((host_index, (hu, hv)))
+        if count >= match_cap:
+            break
+        if len(covered_nodes) == n_host and len(covered_edges) == host.n_edges:
+            break
+    return PatternCoverage(frozenset(covered_nodes), frozenset(covered_edges))
+
+
+class CoverageIndex:
+    """Cached pattern coverage over a fixed set of host graphs.
+
+    The Psum greedy queries the same patterns repeatedly; this index
+    computes each pattern's coverage once (patterns are identified up to
+    isomorphism, so structurally equal patterns share a cache entry).
+    """
+
+    def __init__(self, hosts: Sequence[Graph], match_cap: int = 10_000) -> None:
+        self.hosts: List[Graph] = list(hosts)
+        self.match_cap = match_cap
+        self._cache: Dict[int, PatternCoverage] = {}
+        self._identity: Dict[str, List[Pattern]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def all_nodes(self) -> FrozenSet[NodeRef]:
+        return frozenset(
+            (h, v) for h, g in enumerate(self.hosts) for v in g.nodes()
+        )
+
+    @property
+    def all_edges(self) -> FrozenSet[EdgeRef]:
+        refs: Set[EdgeRef] = set()
+        for h, g in enumerate(self.hosts):
+            for u, v, _ in g.edges():
+                refs.add((h, (u, v)))
+        return frozenset(refs)
+
+    @property
+    def n_nodes(self) -> int:
+        return sum(g.n_nodes for g in self.hosts)
+
+    @property
+    def n_edges(self) -> int:
+        return sum(g.n_edges for g in self.hosts)
+
+    # ------------------------------------------------------------------
+    def coverage(self, pattern: Pattern) -> PatternCoverage:
+        """Coverage of ``pattern`` across all hosts (cached)."""
+        canon = pattern_identity(pattern, self._identity)
+        key = id(canon)
+        if key not in self._cache:
+            nodes: Set[NodeRef] = set()
+            edges: Set[EdgeRef] = set()
+            for h, host in enumerate(self.hosts):
+                cov = match_coverage(canon, host, h, self.match_cap)
+                nodes |= cov.nodes
+                edges |= cov.edges
+            self._cache[key] = PatternCoverage(frozenset(nodes), frozenset(edges))
+        return self._cache[key]
+
+    def covers_all_nodes(self, patterns: Iterable[Pattern]) -> bool:
+        """Constraint C1: do the patterns cover every host node?"""
+        covered: Set[NodeRef] = set()
+        target = self.all_nodes
+        for p in patterns:
+            covered |= self.coverage(p).nodes
+            if covered >= target:
+                return True
+        return covered >= target
+
+
+def covered_node_count(patterns: Iterable[Pattern], hosts: Sequence[Graph]) -> int:
+    """Total host nodes covered by a pattern set (for C3 checks)."""
+    index = CoverageIndex(hosts)
+    covered: Set[NodeRef] = set()
+    for p in patterns:
+        covered |= index.coverage(p).nodes
+    return len(covered)
+
+
+__all__ = [
+    "PatternCoverage",
+    "match_coverage",
+    "CoverageIndex",
+    "covered_node_count",
+    "NodeRef",
+    "EdgeRef",
+]

@@ -1,0 +1,174 @@
+"""Node-induced subgraph isomorphism (§2.1, "Graph Pattern Matching").
+
+A pattern ``P`` matches a host graph ``G`` through an injective mapping
+``h`` such that (1) node types agree, (2) every pattern edge maps to a
+host edge with the same type, and (3) — *induced* semantics — every host
+edge between mapped nodes corresponds to a pattern edge. This is the
+matching relation the paper fixes for pattern coverage, so a pattern
+like a bare ring will not match a ring-with-chord.
+
+The matcher is a VF2-style backtracking search with candidate ordering:
+pattern nodes are visited so each new node is adjacent to an already
+mapped one (patterns are connected), and its candidates are drawn from
+the neighborhood of the mapped image rather than all host nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.exceptions import MatchingError
+from repro.graphs.graph import Graph
+from repro.graphs.pattern import Pattern
+
+Mapping = Dict[int, int]
+
+
+def find_isomorphisms(
+    pattern: Pattern,
+    graph: Graph,
+    limit: Optional[int] = None,
+) -> Iterator[Mapping]:
+    """Yield matchings ``{pattern node -> host node}`` up to ``limit``.
+
+    Matches are enumerated deterministically (lexicographic candidate
+    order), so results are stable across runs.
+    """
+    if pattern.graph.directed != graph.directed:
+        return
+    if limit is not None and limit <= 0:
+        return
+    p = pattern.graph
+    if p.n_nodes > graph.n_nodes:
+        return
+
+    order = _matching_order(p)
+    # pre-bucket host nodes by type for the root
+    count = 0
+    mapping: Mapping = {}
+    used: Set[int] = set()
+
+    def candidates(pos: int) -> Iterator[int]:
+        pv = order[pos]
+        anchor = _mapped_neighbor(p, pv, mapping)
+        if anchor is None:
+            for hv in graph.nodes():
+                yield hv
+        else:
+            for hv in sorted(graph.all_neighbors(mapping[anchor])):
+                yield hv
+
+    def feasible(pv: int, hv: int) -> bool:
+        if hv in used:
+            return False
+        if graph.node_type(hv) != p.node_type(pv):
+            return False
+        # check edges against every already mapped pattern node
+        for qv, hq in mapping.items():
+            p_fwd = p.has_edge(pv, qv) if not p.directed else (qv in p.neighbors(pv))
+            g_fwd = (
+                graph.has_edge(hv, hq)
+                if not graph.directed
+                else (hq in graph.neighbors(hv))
+            )
+            if p.directed:
+                p_bwd = pv in p.neighbors(qv)
+                g_bwd = hv in graph.neighbors(hq)
+                if p_fwd != g_fwd or p_bwd != g_bwd:
+                    return False
+                if p_fwd and p.edge_type(pv, qv) != graph.edge_type(hv, hq):
+                    return False
+                if p_bwd and p.edge_type(qv, pv) != graph.edge_type(hq, hv):
+                    return False
+            else:
+                if p_fwd != g_fwd:
+                    return False
+                if p_fwd and p.edge_type(pv, qv) != graph.edge_type(hv, hq):
+                    return False
+        return True
+
+    def backtrack(pos: int) -> Iterator[Mapping]:
+        nonlocal count
+        if pos == len(order):
+            count += 1
+            yield dict(mapping)
+            return
+        pv = order[pos]
+        for hv in candidates(pos):
+            if limit is not None and count >= limit:
+                return
+            if feasible(pv, hv):
+                mapping[pv] = hv
+                used.add(hv)
+                yield from backtrack(pos + 1)
+                del mapping[pv]
+                used.discard(hv)
+
+    yield from backtrack(0)
+
+
+def _matching_order(p: Graph) -> List[int]:
+    """Visit order where each node (after the first) touches a prior one."""
+    if p.n_nodes == 0:
+        return []
+    # root at the highest-degree node: fewest root candidates on average
+    root = max(p.nodes(), key=lambda v: (p.degree(v), -v))
+    order = [root]
+    seen = {root}
+    frontier: List[int] = sorted(p.all_neighbors(root))
+    while frontier:
+        nxt = None
+        best = (-1, 0)
+        for v in frontier:
+            mapped_deg = sum(1 for w in p.all_neighbors(v) if w in seen)
+            key = (mapped_deg, p.degree(v))
+            if key > best:
+                best = key
+                nxt = v
+        assert nxt is not None
+        order.append(nxt)
+        seen.add(nxt)
+        frontier = sorted(
+            {w for v in seen for w in p.all_neighbors(v) if w not in seen}
+        )
+    if len(order) != p.n_nodes:
+        raise MatchingError("pattern is disconnected")  # guarded by Pattern
+    return order
+
+
+def _mapped_neighbor(p: Graph, pv: int, mapping: Mapping) -> Optional[int]:
+    for w in p.all_neighbors(pv):
+        if w in mapping:
+            return w
+    return None
+
+
+def first_isomorphism(pattern: Pattern, graph: Graph) -> Optional[Mapping]:
+    """First matching or ``None``."""
+    for m in find_isomorphisms(pattern, graph, limit=1):
+        return m
+    return None
+
+
+def is_subgraph_isomorphic(pattern: Pattern, graph: Graph) -> bool:
+    """Whether the pattern occurs in the host graph (induced semantics)."""
+    return first_isomorphism(pattern, graph) is not None
+
+
+def are_isomorphic(a: Pattern, b: Pattern) -> bool:
+    """Exact isomorphism between two patterns.
+
+    Same node/edge counts plus an induced-subgraph matching of equal
+    size is exactly graph isomorphism.
+    """
+    if a.n_nodes != b.n_nodes or a.n_edges != b.n_edges:
+        return False
+    return first_isomorphism(a, b.graph) is not None
+
+
+__all__ = [
+    "find_isomorphisms",
+    "first_isomorphism",
+    "is_subgraph_isomorphic",
+    "are_isomorphic",
+]

@@ -1,0 +1,28 @@
+"""Evaluation metrics: fidelity, conciseness, capability matrix."""
+
+from repro.metrics.capability import capability_rows, capability_table
+from repro.metrics.conciseness import (
+    compression,
+    mean_compression,
+    mean_edge_loss,
+    sparsity,
+    sparsity_single,
+)
+from repro.metrics.fidelity import (
+    fidelity_minus_single,
+    fidelity_plus_single,
+    fidelity_scores,
+)
+
+__all__ = [
+    "fidelity_scores",
+    "fidelity_plus_single",
+    "fidelity_minus_single",
+    "sparsity",
+    "sparsity_single",
+    "compression",
+    "mean_compression",
+    "mean_edge_loss",
+    "capability_rows",
+    "capability_table",
+]

@@ -1,0 +1,66 @@
+"""Table 1 — the explainer capability matrix, generated from metadata."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Type
+
+from repro.explainers import ALL_EXPLAINER_CLASSES
+from repro.explainers.base import Explainer, ExplainerCapabilities
+
+COLUMNS = (
+    "Method",
+    "Learning",
+    "Task",
+    "Target",
+    "MA",
+    "LS",
+    "SB",
+    "Coverage",
+    "Config",
+    "Queryable",
+)
+
+
+def _mark(flag: bool) -> str:
+    return "yes" if flag else "no"
+
+
+def capability_rows(
+    classes: Sequence[Type[Explainer]] = ALL_EXPLAINER_CLASSES,
+) -> List[List[str]]:
+    """Table 1 rows in the paper's column order."""
+    rows = []
+    for cls in classes:
+        caps: ExplainerCapabilities = cls.capabilities
+        rows.append(
+            [
+                caps.name,
+                _mark(caps.requires_learning),
+                caps.tasks,
+                caps.target,
+                _mark(caps.model_agnostic),
+                _mark(caps.label_specific),
+                _mark(caps.size_bound),
+                _mark(caps.coverage),
+                _mark(caps.configurable),
+                _mark(caps.queryable),
+            ]
+        )
+    return rows
+
+
+def capability_table(
+    classes: Sequence[Type[Explainer]] = ALL_EXPLAINER_CLASSES,
+) -> str:
+    """ASCII rendering of Table 1."""
+    rows = [list(COLUMNS)] + capability_rows(classes)
+    widths = [max(len(r[i]) for r in rows) for i in range(len(COLUMNS))]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)
+
+
+__all__ = ["capability_rows", "capability_table", "COLUMNS"]

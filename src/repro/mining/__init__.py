@@ -1,0 +1,14 @@
+"""Mining substrate: pattern enumeration, MDL scoring, PGen/IncPGen."""
+
+from repro.mining.enumerate import connected_node_subsets, count_connected_subsets
+from repro.mining.mdl import MinedPattern, mdl_score
+from repro.mining.pgen import mine_incremental, mine_patterns
+
+__all__ = [
+    "connected_node_subsets",
+    "count_connected_subsets",
+    "MinedPattern",
+    "mdl_score",
+    "mine_patterns",
+    "mine_incremental",
+]

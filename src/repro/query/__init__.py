@@ -1,0 +1,5 @@
+"""Query layer: explanation views as queryable artifacts."""
+
+from repro.query.index import PatternOccurrence, ViewIndex
+
+__all__ = ["ViewIndex", "PatternOccurrence"]

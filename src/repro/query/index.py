@@ -1,0 +1,172 @@
+"""Query engine over explanation views — the paper's "queryable" property.
+
+§1 motivates GVEX with analyst queries like *"which toxicophores occur
+in mutagens?"* and *"which nonmutagens contain the toxicophore P22?"*.
+A :class:`ViewIndex` makes a generated (or JSON-loaded)
+:class:`~repro.graphs.view.ViewSet` directly queryable:
+
+* pattern -> labels / explanation subgraphs / source graphs containing it,
+* label -> its patterns, with occurrence statistics,
+* discriminative patterns: in one label's view but matching no graph of
+  another label,
+* free-form matching of user-supplied patterns against either the
+  explanation tier or the raw database.
+
+Matches are cached per (pattern, host) via the same canonical-pattern
+machinery the matcher uses, so repeated analyst queries stay cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.graphs.database import GraphDatabase
+from repro.graphs.graph import Graph
+from repro.graphs.pattern import Pattern
+from repro.graphs.view import ExplanationView, ViewSet
+from repro.matching.canonical import pattern_identity
+from repro.matching.isomorphism import is_subgraph_isomorphic
+
+
+@dataclass(frozen=True)
+class PatternOccurrence:
+    """One place a pattern occurs."""
+
+    label: Hashable
+    graph_index: int
+    in_explanation: bool  # matched the explanation subgraph (vs full graph)
+
+
+class ViewIndex:
+    """Queryable index over a set of explanation views.
+
+    Parameters
+    ----------
+    views:
+        The explanation views (one per label).
+    db:
+        Optional source database; enables queries against the *full*
+        graphs (e.g. "which nonmutagens contain pattern P?"), not just
+        the explanation tier.
+    """
+
+    def __init__(self, views: ViewSet, db: Optional[GraphDatabase] = None) -> None:
+        self.views = views
+        self.db = db
+        self._identity: Dict[str, List[Pattern]] = {}
+        self._match_cache: Dict[Tuple[int, int], bool] = {}
+        # register every view pattern so isomorphic duplicates unify
+        for view in views:
+            for p in view.patterns:
+                pattern_identity(p, self._identity)
+
+    # ------------------------------------------------------------------
+    # label-centric queries
+    # ------------------------------------------------------------------
+    def labels(self) -> List[Hashable]:
+        return self.views.labels
+
+    def patterns_for_label(self, label: Hashable) -> List[Pattern]:
+        """The higher-tier patterns of one label's view."""
+        return list(self.views[label].patterns)
+
+    def subgraphs_for_label(self, label: Hashable):
+        return list(self.views[label].subgraphs)
+
+    # ------------------------------------------------------------------
+    # pattern-centric queries
+    # ------------------------------------------------------------------
+    def labels_with_pattern(self, pattern: Pattern) -> List[Hashable]:
+        """Labels whose view contains a pattern isomorphic to ``pattern``."""
+        canon = self._canon(pattern)
+        out = []
+        for view in self.views:
+            if any(self._canon(p) is canon for p in view.patterns):
+                out.append(view.label)
+        return out
+
+    def explanations_containing(
+        self, pattern: Pattern, label: Optional[Hashable] = None
+    ) -> List[PatternOccurrence]:
+        """Explanation subgraphs the pattern matches (induced semantics).
+
+        This is the paper's "which toxicophores occur in mutagens?"
+        query: pass the toxicophore pattern and ``label='mutagen'``.
+        """
+        out: List[PatternOccurrence] = []
+        for view in self.views:
+            if label is not None and view.label != label:
+                continue
+            for sub in view.subgraphs:
+                if self._matches(pattern, sub.subgraph):
+                    out.append(
+                        PatternOccurrence(view.label, sub.graph_index, True)
+                    )
+        return out
+
+    def graphs_containing(
+        self, pattern: Pattern, label: Optional[Hashable] = None
+    ) -> List[PatternOccurrence]:
+        """Source graphs the pattern matches (needs ``db``).
+
+        This is the paper's "which nonmutagens contain pattern P22?"
+        query — it runs against whole graphs, not explanations, so it
+        also finds occurrences the explainer did not select.
+        """
+        if self.db is None:
+            raise ValueError("graphs_containing requires a source database")
+        group_of: Dict[int, Hashable] = {}
+        for view in self.views:
+            for sub in view.subgraphs:
+                group_of[sub.graph_index] = view.label
+        out: List[PatternOccurrence] = []
+        for idx, graph in enumerate(self.db.graphs):
+            g_label = group_of.get(idx)
+            if label is not None and g_label != label:
+                continue
+            if self._matches(pattern, graph):
+                out.append(PatternOccurrence(g_label, idx, False))
+        return out
+
+    # ------------------------------------------------------------------
+    # cross-label analysis
+    # ------------------------------------------------------------------
+    def discriminative_patterns(
+        self, target: Hashable, against: Hashable
+    ) -> List[Pattern]:
+        """Patterns of ``target``'s view matching no explanation of
+        ``against`` — the paper's "representative substructures that
+        distinguish mutagens from nonmutagens" (P12 in Example 1.1)."""
+        other_subs = [s.subgraph for s in self.views[against].subgraphs]
+        out = []
+        for p in self.views[target].patterns:
+            if not any(self._matches(p, host) for host in other_subs):
+                out.append(p)
+        return out
+
+    def pattern_statistics(self, pattern: Pattern) -> Dict[Hashable, int]:
+        """How many explanations per label contain the pattern."""
+        stats: Dict[Hashable, int] = {}
+        for view in self.views:
+            count = sum(
+                1
+                for sub in view.subgraphs
+                if self._matches(pattern, sub.subgraph)
+            )
+            stats[view.label] = count
+        return stats
+
+    # ------------------------------------------------------------------
+    def _canon(self, pattern: Pattern) -> Pattern:
+        return pattern_identity(pattern, self._identity)
+
+    def _matches(self, pattern: Pattern, host: Graph) -> bool:
+        canon = self._canon(pattern)
+        key = (id(canon), id(host))
+        if key not in self._match_cache:
+            self._match_cache[key] = is_subgraph_isomorphic(canon, host)
+        return self._match_cache[key]
+
+
+__all__ = ["ViewIndex", "PatternOccurrence"]

@@ -1,0 +1,21 @@
+"""Shared utilities: seeded RNG helpers, timers, validation."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timing import Stopwatch, time_call
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "time_call",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,55 @@
+"""Lightweight timing helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Tuple
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    >>> sw = Stopwatch()
+    >>> with sw.lap("phase1"):
+    ...     pass
+    >>> "phase1" in sw.laps
+    True
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+
+    def lap(self, name: str) -> "_Lap":
+        return _Lap(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.laps[name] = self.laps.get(name, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        return sum(self.laps.values())
+
+
+class _Lap:
+    def __init__(self, sw: Stopwatch, name: str):
+        self._sw = sw
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Lap":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self._sw.add(self._name, time.perf_counter() - self._start)
+
+
+def time_call(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Tuple[Any, float]:
+    """Run ``fn`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+__all__ = ["Stopwatch", "time_call"]

@@ -1,0 +1,21 @@
+"""Visualization: ASCII / DOT / report rendering of explanation structures."""
+
+from repro.viz.render import (
+    ascii_graph,
+    ascii_pattern,
+    subgraph_report,
+    to_dot,
+    view_report,
+    view_to_dot,
+    viewset_report,
+)
+
+__all__ = [
+    "ascii_graph",
+    "ascii_pattern",
+    "to_dot",
+    "view_to_dot",
+    "subgraph_report",
+    "view_report",
+    "viewset_report",
+]

@@ -1,0 +1,77 @@
+"""Shared fixtures: a small motif dataset and a trained GCN.
+
+Training is session-scoped so the whole suite pays for it once. The
+dataset is a miniature mutagenicity analogue: class 1 graphs carry an
+NO2-like motif (one type-1 "N" node bonded to two type-2 "O" nodes),
+class 0 graphs are plain carbon skeletons — so ground-truth explanation
+nodes are known by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import GvexConfig
+from repro.gnn.model import GnnClassifier
+from repro.gnn.training import LabelEncoder, train_classifier
+from repro.graphs.database import GraphDatabase
+from repro.graphs.generators import attach_motif, chain_graph, ring_graph
+from repro.graphs.graph import Graph
+from repro.utils.rng import ensure_rng
+
+C, N, O = 0, 1, 2  # atom type ids
+
+
+def nitro_motif() -> Graph:
+    """N bonded to two O's (the paper's NO2 toxicophore, Fig. 10)."""
+    g = Graph([N, O, O])
+    g.add_edge(0, 1)
+    g.add_edge(0, 2)
+    return g
+
+
+def make_mutagen_db(n_per_class: int = 16, seed: int = 0) -> GraphDatabase:
+    rng = ensure_rng(seed)
+    graphs, labels = [], []
+    for i in range(2 * n_per_class):
+        label = i % 2
+        size = int(rng.integers(5, 9))
+        if rng.random() < 0.5:
+            host = chain_graph([C] * size)
+        else:
+            host = ring_graph([C] * max(size, 3))
+        if label == 1:
+            anchor = int(rng.integers(0, host.n_nodes))
+            g, _ = attach_motif(host, nitro_motif(), anchor=anchor, seed=rng)
+        else:
+            g = host
+        graphs.append(g)
+        labels.append(label)
+    return GraphDatabase(graphs, labels=labels, name="mutagen-mini")
+
+
+@pytest.fixture(scope="session")
+def mutagen_db() -> GraphDatabase:
+    return make_mutagen_db(16, seed=7)
+
+
+@pytest.fixture(scope="session")
+def trained_setup(mutagen_db):
+    """(model, encoder, metrics) for a GCN trained on the motif task."""
+    model = GnnClassifier(3, 2, hidden_dims=(16, 16, 16), seed=0)
+    model, encoder, metrics = train_classifier(
+        mutagen_db, model, seed=0, max_epochs=120, patience=30
+    )
+    assert metrics["train_accuracy"] >= 0.9, metrics
+    return model, encoder, metrics
+
+
+@pytest.fixture(scope="session")
+def trained_model(trained_setup) -> GnnClassifier:
+    return trained_setup[0]
+
+
+@pytest.fixture()
+def small_config() -> GvexConfig:
+    return GvexConfig(theta=0.08, radius=0.3, gamma=0.5).with_bounds(0, 6)

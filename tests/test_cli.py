@@ -1,0 +1,130 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graphs.io import load_views
+
+
+class TestStaticCommands:
+    def test_capabilities(self, capsys):
+        assert main(["capabilities"]) == 0
+        out = capsys.readouterr().out
+        assert "GVEX" in out and "Queryable" in out
+
+    def test_datasets(self, capsys):
+        assert main(["datasets", "--scale", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "MUTAGENICITY" in out and "MALNET" in out
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["train", "--dataset", "bogus", "--out", "x.npz"])
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def artifacts(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("cli")
+        model_path = tmp / "model.npz"
+        views_path = tmp / "views.json"
+        assert (
+            main(
+                [
+                    "train",
+                    "--dataset", "pcqm4m",
+                    "--scale", "test",
+                    "--out", str(model_path),
+                    "--hidden", "16", "16",
+                    "--epochs", "80",
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "explain",
+                    "--dataset", "pcqm4m",
+                    "--scale", "test",
+                    "--model", str(model_path),
+                    "--upper", "5",
+                    "--out", str(views_path),
+                ]
+            )
+            == 0
+        )
+        return model_path, views_path
+
+    def test_artifacts_created(self, artifacts):
+        model_path, views_path = artifacts
+        assert model_path.exists()
+        assert views_path.exists()
+        views = load_views(views_path)
+        assert len(views) >= 2
+        for view in views:
+            assert all(s.n_nodes <= 5 for s in view.subgraphs)
+
+    def test_explain_stream_method(self, artifacts, tmp_path, capsys):
+        model_path, _ = artifacts
+        out = tmp_path / "stream_views.json"
+        assert (
+            main(
+                [
+                    "explain",
+                    "--dataset", "pcqm4m",
+                    "--scale", "test",
+                    "--model", str(model_path),
+                    "--method", "stream",
+                    "--upper", "5",
+                    "--labels", "0",
+                    "--out", str(out),
+                ]
+            )
+            == 0
+        )
+        views = load_views(out)
+        assert views.labels == [0]
+
+    def test_query_inline_pattern(self, artifacts, capsys):
+        _, views_path = artifacts
+        pattern = json.dumps({"node_types": [0, 0], "edges": [[0, 1, 0]]})
+        assert (
+            main(
+                [
+                    "query",
+                    "--dataset", "pcqm4m",
+                    "--scale", "test",
+                    "--views", str(views_path),
+                    "--pattern", pattern,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "match(es)" in out
+        assert "per-label explanation counts" in out
+
+    def test_query_pattern_file_and_graph_scope(self, artifacts, tmp_path, capsys):
+        _, views_path = artifacts
+        pattern_file = tmp_path / "pattern.json"
+        pattern_file.write_text(
+            json.dumps({"node_types": [0], "edges": []})
+        )
+        assert (
+            main(
+                [
+                    "query",
+                    "--dataset", "pcqm4m",
+                    "--scale", "test",
+                    "--views", str(views_path),
+                    "--pattern", str(pattern_file),
+                    "--scope", "graphs",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "scope=graphs" in out

@@ -1,0 +1,95 @@
+"""Tests for sharded view generation and view merging."""
+
+import pytest
+
+from repro.core.approx import explain_database
+from repro.core.distributed import (
+    explain_database_sharded,
+    merge_view_sets,
+    merge_views,
+)
+from repro.graphs.view import ExplanationView
+from repro.matching.coverage import CoverageIndex
+
+
+class TestMergeViews:
+    def test_empty_rejected(self, small_config):
+        with pytest.raises(ValueError):
+            merge_views([], small_config)
+
+    def test_label_mismatch_rejected(self, small_config):
+        with pytest.raises(ValueError):
+            merge_views(
+                [ExplanationView(label=0), ExplanationView(label=1)], small_config
+            )
+
+    def test_merge_unions_subgraphs(self, trained_model, mutagen_db, small_config):
+        views = explain_database(mutagen_db, trained_model, small_config)
+        label = views.labels[0]
+        full = views[label]
+        # split the subgraphs into two partial views
+        half = len(full.subgraphs) // 2
+        a = ExplanationView(label=label, subgraphs=full.subgraphs[:half])
+        b = ExplanationView(label=label, subgraphs=full.subgraphs[half:])
+        merged = merge_views([a, b], small_config)
+        assert {s.graph_index for s in merged.subgraphs} == {
+            s.graph_index for s in full.subgraphs
+        }
+        # patterns re-summarized over the union still cover everything
+        index = CoverageIndex([s.subgraph for s in merged.subgraphs])
+        assert index.covers_all_nodes(merged.patterns)
+        assert merged.score == pytest.approx(full.score)
+
+
+class TestShardedExplain:
+    def test_matches_unsharded(self, trained_model, mutagen_db, small_config):
+        direct = explain_database(mutagen_db, trained_model, small_config)
+        sharded = explain_database_sharded(
+            mutagen_db, trained_model, small_config, n_shards=3
+        )
+        assert sorted(sharded.labels) == sorted(direct.labels)
+        for label in direct.labels:
+            want = {s.graph_index: s.nodes for s in direct[label].subgraphs}
+            got = {s.graph_index: s.nodes for s in sharded[label].subgraphs}
+            assert got == want
+            assert sharded[label].score == pytest.approx(direct[label].score)
+
+    def test_single_shard_degenerate(self, trained_model, mutagen_db, small_config):
+        direct = explain_database(mutagen_db, trained_model, small_config)
+        one = explain_database_sharded(
+            mutagen_db, trained_model, small_config, n_shards=1
+        )
+        for label in direct.labels:
+            assert len(one[label].subgraphs) == len(direct[label].subgraphs)
+
+    def test_invalid_shards(self, trained_model, mutagen_db, small_config):
+        with pytest.raises(ValueError):
+            explain_database_sharded(
+                mutagen_db, trained_model, small_config, n_shards=0
+            )
+
+    def test_sharded_with_processes(self, trained_model, mutagen_db, small_config):
+        sharded = explain_database_sharded(
+            mutagen_db,
+            trained_model,
+            small_config,
+            n_shards=2,
+            processes=2,
+        )
+        direct = explain_database(mutagen_db, trained_model, small_config)
+        for label in direct.labels:
+            want = {s.graph_index for s in direct[label].subgraphs}
+            got = {s.graph_index for s in sharded[label].subgraphs}
+            assert got == want
+
+
+class TestMergeViewSets:
+    def test_merges_disjoint_labels(self, small_config):
+        from repro.graphs.view import ViewSet
+
+        a = ViewSet()
+        a.add(ExplanationView(label=0, score=1.0))
+        b = ViewSet()
+        b.add(ExplanationView(label=1, score=2.0))
+        merged = merge_view_sets([a, b], small_config)
+        assert sorted(merged.labels) == [0, 1]

@@ -1,0 +1,213 @@
+"""Tests for EVerify/VpExtend/view verification and Psum."""
+
+import pytest
+
+from repro.config import GvexConfig, VERIFY_PAPER, VERIFY_SOFT
+from repro.core.psum import summarize
+from repro.core.verifiers import GnnVerifier, verify_view, vp_extend
+from repro.graphs.generators import chain_graph, ring_graph
+from repro.graphs.graph import Graph, graph_from_edges
+from repro.graphs.pattern import Pattern
+from repro.graphs.view import ExplanationSubgraph, ExplanationView
+from repro.matching.coverage import CoverageIndex
+from repro.mining.mdl import MinedPattern
+
+from tests.conftest import C, N, O, nitro_motif
+
+
+class TestGnnVerifier:
+    def test_original_label_cached(self, trained_model, mutagen_db):
+        g = mutagen_db[1]  # label-1 graph
+        verifier = GnnVerifier(trained_model, g)
+        assert verifier.original_label == trained_model.predict(g)
+
+    def test_subset_label_cached(self, trained_model, mutagen_db):
+        g = mutagen_db[0]
+        verifier = GnnVerifier(trained_model, g)
+        first = verifier.label_of_nodes([0, 1])
+        calls = verifier.inference_calls
+        second = verifier.label_of_nodes({1, 0})
+        assert first == second
+        assert verifier.inference_calls == calls  # cache hit
+
+    def test_remainder_of_everything_is_empty_label(self, trained_model, mutagen_db):
+        g = mutagen_db[0]
+        verifier = GnnVerifier(trained_model, g)
+        assert verifier.label_of_remainder(range(g.n_nodes)) is None
+
+    def test_check_empty_set(self, trained_model, mutagen_db):
+        verifier = GnnVerifier(trained_model, mutagen_db[0])
+        assert verifier.check([], 0) == (False, False)
+
+    def test_motif_subgraph_is_explanation(self, trained_model, mutagen_db):
+        """Removing the planted NO2 motif flips a mutagen's label."""
+        flips = 0
+        checked = 0
+        for idx, label in enumerate(mutagen_db.labels):
+            if label != 1:
+                continue
+            g = mutagen_db[idx]
+            verifier = GnnVerifier(trained_model, g)
+            if verifier.original_label != 1:
+                continue
+            motif_nodes = [
+                v
+                for v in g.nodes()
+                if g.node_type(v) in (N, O)
+            ]
+            checked += 1
+            _, counterfactual = verifier.check(motif_nodes, 1)
+            flips += counterfactual
+        assert checked > 0
+        assert flips / checked >= 0.8
+
+
+class TestVpExtend:
+    def test_size_bound(self, trained_model, mutagen_db):
+        verifier = GnnVerifier(trained_model, mutagen_db[0])
+        assert not vp_extend(
+            2, frozenset({0, 1}), verifier, 0, upper_bound=2, mode=VERIFY_SOFT
+        )
+        assert vp_extend(
+            2, frozenset({0, 1}), verifier, 0, upper_bound=3, mode=VERIFY_SOFT
+        )
+
+    def test_already_selected(self, trained_model, mutagen_db):
+        verifier = GnnVerifier(trained_model, mutagen_db[0])
+        assert not vp_extend(0, frozenset({0}), verifier, 0, 10, VERIFY_SOFT)
+
+    def test_paper_mode_requires_both_properties(self, trained_model, mutagen_db):
+        # find a mutagen predicted correctly; its full motif should pass,
+        # a single carbon should not
+        for idx, label in enumerate(mutagen_db.labels):
+            if label != 1:
+                continue
+            g = mutagen_db[idx]
+            verifier = GnnVerifier(trained_model, g)
+            if verifier.original_label != 1:
+                continue
+            motif = [v for v in g.nodes() if g.node_type(v) in (N, O)]
+            consistent, counterfactual = verifier.check(motif, 1)
+            if not (consistent and counterfactual):
+                continue
+            # motif minus one node, extended by that node, passes
+            partial = frozenset(motif[:-1])
+            assert vp_extend(motif[-1], partial, verifier, 1, 10, VERIFY_PAPER)
+            return
+        pytest.skip("no cleanly-verified mutagen in fixture")
+
+    def test_unknown_mode_raises(self, trained_model, mutagen_db):
+        verifier = GnnVerifier(trained_model, mutagen_db[0])
+        with pytest.raises(ValueError):
+            vp_extend(0, frozenset(), verifier, 0, 5, "bogus")
+
+
+class TestPsum:
+    def test_full_node_coverage(self):
+        subs = [graph_from_edges([C, N, O, O], [(0, 1), (1, 2), (1, 3)])]
+        result = summarize(subs, GvexConfig())
+        assert result.node_coverage_complete
+        index = CoverageIndex(subs)
+        assert index.covers_all_nodes(result.patterns)
+
+    def test_empty_input(self):
+        result = summarize([], GvexConfig())
+        assert result.patterns == []
+        assert result.edge_loss == 0.0
+
+    def test_prefers_structured_patterns(self):
+        # two identical NO2-decorated chains: the shared motif should be
+        # picked before singletons
+        subs = []
+        for _ in range(2):
+            g = graph_from_edges(
+                [C, C, N, O, O], [(0, 1), (1, 2), (2, 3), (2, 4)]
+            )
+            subs.append(g)
+        result = summarize(subs, GvexConfig())
+        assert result.node_coverage_complete
+        assert any(p.n_nodes > 1 for p in result.patterns)
+
+    def test_edge_loss_bounds(self):
+        subs = [ring_graph([C] * 6)]
+        result = summarize(subs, GvexConfig())
+        assert 0.0 <= result.edge_loss <= 1.0
+
+    def test_injected_candidates(self):
+        subs = [chain_graph([C, C])]
+        cands = [MinedPattern(Pattern.singleton(C), support=1, embeddings=2)]
+        result = summarize(subs, GvexConfig(), candidates=cands)
+        assert len(result.patterns) == 1
+        assert result.node_coverage_complete
+        assert result.edge_loss == 1.0  # singleton covers no edge
+
+    def test_edgeless_subgraphs(self):
+        subs = [Graph([C, N])]
+        result = summarize(subs, GvexConfig())
+        assert result.node_coverage_complete
+        assert result.edge_loss == 0.0  # no edges to miss
+
+
+class TestVerifyView:
+    def _view_for(self, model, db, config, idx):
+        g = db[idx]
+        label = model.predict(g)
+        motif = [v for v in g.nodes() if g.node_type(v) in (N, O)]
+        sub, _ = g.induced_subgraph(motif)
+        verifier = GnnVerifier(model, g)
+        consistent, counterfactual = verifier.check(motif, label)
+        view = ExplanationView(label=label)
+        view.subgraphs.append(
+            ExplanationSubgraph(
+                idx, tuple(motif), sub, consistent, counterfactual, 0.0
+            )
+        )
+        view.patterns = [Pattern(nitro_motif())]
+        return view, label
+
+    def test_valid_view_passes(self, trained_model, mutagen_db, small_config):
+        for idx, label in enumerate(mutagen_db.labels):
+            if label != 1 or trained_model.predict(mutagen_db[idx]) != 1:
+                continue
+            view, pred = self._view_for(trained_model, mutagen_db, small_config, idx)
+            if not (view.subgraphs[0].consistent and view.subgraphs[0].counterfactual):
+                continue
+            result = verify_view(
+                view, mutagen_db.graphs, trained_model, small_config, label=pred
+            )
+            assert result.c1_patterns_cover_nodes
+            assert result.c2_explanations_valid
+            assert result.c3_properly_covers
+            assert result.ok
+            return
+        pytest.skip("no verified mutagen available")
+
+    def test_c1_fails_without_covering_patterns(self, trained_model, mutagen_db, small_config):
+        view, pred = self._view_for(trained_model, mutagen_db, small_config, 1)
+        view.patterns = [Pattern.singleton(N)]  # leaves the O's uncovered
+        result = verify_view(
+            view, mutagen_db.graphs, trained_model, small_config, label=pred
+        )
+        assert not result.c1_patterns_cover_nodes
+
+    def test_c3_fails_outside_bounds(self, trained_model, mutagen_db):
+        config = GvexConfig().with_bounds(0, 1)  # max 1 node per graph
+        view, pred = self._view_for(trained_model, mutagen_db, config, 1)
+        result = verify_view(
+            view, mutagen_db.graphs, trained_model, config, label=pred
+        )
+        assert not result.c3_properly_covers
+
+    def test_group_scope_coverage(self, trained_model, mutagen_db):
+        config = GvexConfig().with_bounds(0, 100)
+        view, pred = self._view_for(trained_model, mutagen_db, config, 1)
+        result = verify_view(
+            view,
+            mutagen_db.graphs,
+            trained_model,
+            config,
+            label=pred,
+            per_graph_coverage=False,
+        )
+        assert result.c3_properly_covers
+        assert result.total_nodes == view.n_subgraph_nodes

@@ -1,0 +1,174 @@
+"""Tests for the seven dataset generators, registry, statistics, zoo."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    FIDELITY_DATASETS,
+    ba_synthetic,
+    compute_statistics,
+    dataset_info,
+    enzymes,
+    get_trained,
+    load_dataset,
+    malnet,
+    mutagenicity,
+    pcqm4m,
+    products,
+    reddit_binary,
+    statistics_table,
+)
+from repro.datasets.molecules import N, O, nitro_group, amine_group
+from repro.exceptions import DatasetError
+from repro.graphs.pattern import Pattern
+from repro.matching.isomorphism import is_subgraph_isomorphic
+
+
+class TestGenerators:
+    def test_mutagenicity_structure(self):
+        db = mutagenicity(n_graphs=12, seed=0)
+        assert len(db) == 12
+        assert db.n_classes == 2
+        for g in db:
+            assert g.features is not None
+            assert g.features.shape[1] == 14
+            assert g.is_connected()
+
+    def test_mutagenicity_motif_only_in_positives(self):
+        db = mutagenicity(n_graphs=20, seed=1)
+        no2 = Pattern(nitro_group())
+        nh2 = Pattern(amine_group())
+        for g, label in zip(db.graphs, db.labels):
+            has_toxicophore = is_subgraph_isomorphic(
+                no2, g
+            ) or is_subgraph_isomorphic(nh2, g)
+            assert has_toxicophore == (label == 1)
+
+    def test_pcqm4m_three_classes(self):
+        db = pcqm4m(n_graphs=15, seed=0)
+        assert db.n_classes == 3
+        assert all(g.features.shape[1] == 9 for g in db)
+
+    def test_reddit_binary_degree_contrast(self):
+        db = reddit_binary(n_graphs=8, seed=0)
+        # discussion threads (label 0) have higher max degree (star hubs)
+        max_deg = {0: [], 1: []}
+        for g, label in zip(db.graphs, db.labels):
+            max_deg[label].append(max(g.degree(v) for v in g.nodes()))
+        assert np.mean(max_deg[0]) > np.mean(max_deg[1]) - 2
+
+    def test_enzymes_six_classes(self):
+        db = enzymes(n_graphs=18, seed=0)
+        assert db.n_classes == 6
+        assert all(g.features.shape[1] == 3 for g in db)
+
+    def test_malnet_directed_with_features(self):
+        db = malnet(n_graphs=10, min_size=15, max_size=25, seed=0)
+        assert db.n_classes == 5
+        for g in db:
+            assert g.directed
+            assert g.features.shape[1] == 10
+
+    def test_products_ego_labels(self):
+        db = products(n_subgraphs=8, n_blocks=4, block_size=12, radius=1, seed=0)
+        assert len(db) == 8
+        assert all(g.features.shape[1] == 100 for g in db)
+
+    def test_ba_synthetic_motif_presence(self):
+        from repro.graphs.generators import house_motif
+
+        db = ba_synthetic(n_graphs=6, base_size=20, motifs_per_graph=2, seed=0)
+        house = Pattern(house_motif())
+        for g, label in zip(db.graphs, db.labels):
+            # houses planted only in class 0 (tree-like base has none)
+            assert is_subgraph_isomorphic(house, g) == (label == 0)
+
+    def test_generators_deterministic(self):
+        a = mutagenicity(n_graphs=6, seed=5)
+        b = mutagenicity(n_graphs=6, seed=5)
+        for ga, gb in zip(a.graphs, b.graphs):
+            assert ga == gb
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_load_all_test_scale(self, name):
+        info = dataset_info(name)
+        db = load_dataset(name, scale="test", seed=0)
+        assert len(db) > 0
+        assert db.n_classes == info.n_classes
+        g = db[0]
+        width = g.features.shape[1] if g.features is not None else 1
+        assert width == info.n_features
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            load_dataset("nope")
+        with pytest.raises(DatasetError):
+            dataset_info("nope")
+
+    def test_unknown_scale(self):
+        with pytest.raises(DatasetError):
+            load_dataset("mutagenicity", scale="galactic")
+
+    def test_overrides(self):
+        db = load_dataset("mutagenicity", scale="test", n_graphs=4)
+        assert len(db) == 4
+
+    def test_fidelity_datasets_subset(self):
+        assert set(FIDELITY_DATASETS) <= set(DATASETS)
+
+
+class TestStatistics:
+    def test_compute_statistics(self):
+        db = mutagenicity(n_graphs=10, seed=0)
+        stats = compute_statistics(db)
+        assert stats.n_graphs == 10
+        assert stats.n_classes == 2
+        assert stats.avg_nodes > 0
+        assert stats.n_features == 14
+
+    def test_table_renders_all(self):
+        table = statistics_table(scale="test")
+        for info in DATASETS.values():
+            assert info.paper_name.split(" ")[0] in table
+
+    def test_row_format(self):
+        db = mutagenicity(n_graphs=4, seed=0)
+        row = compute_statistics(db).row()
+        assert len(row) == 6
+
+
+class TestZoo:
+    def test_training_cached_in_memory(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.datasets.zoo import _MEMORY_CACHE
+
+        a = get_trained("pcqm4m", scale="test", seed=0)
+        b = get_trained("pcqm4m", scale="test", seed=0)
+        assert a is b
+        assert a.metrics["train_accuracy"] >= 0.9
+
+    def test_disk_cache_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.datasets.zoo import clear_cache
+
+        first = get_trained("pcqm4m", scale="test", seed=1)
+        preds_first = [first.model.predict(g) for g in first.db]
+        clear_cache(memory=True, disk=False)
+        second = get_trained("pcqm4m", scale="test", seed=1)
+        preds_second = [second.model.predict(g) for g in second.db]
+        assert preds_first == preds_second
+
+    def test_all_datasets_learnable(self):
+        """Every generator must produce a GCN-learnable task (>= 0.8 train)."""
+        for name in DATASETS:
+            trained = get_trained(name, scale="test", seed=0, use_disk_cache=True)
+            acc = trained.metrics["train_accuracy"]
+            if np.isnan(acc):  # loaded from disk cache: recompute
+                from repro.gnn.training import Trainer
+
+                trainer = Trainer(trained.model)
+                acc = trainer.evaluate(trained.db, trained.encoder)
+            assert acc >= 0.8, f"{name} train accuracy {acc}"

@@ -1,0 +1,91 @@
+"""Tests for noise injection and robustness of the pipeline under noise."""
+
+import numpy as np
+import pytest
+
+from repro.config import GvexConfig
+from repro.core.approx import explain_database
+from repro.datasets import mutagenicity
+from repro.datasets.noise import with_edge_noise, with_label_noise
+from repro.exceptions import DatasetError
+from repro.gnn.model import GnnClassifier
+from repro.gnn.training import train_classifier
+from repro.graphs.database import GraphDatabase
+from repro.graphs.graph import Graph
+
+
+class TestLabelNoise:
+    def test_flips_requested_fraction(self):
+        db = mutagenicity(n_graphs=20, seed=0)
+        noisy = with_label_noise(db, 0.3, seed=1)
+        flips = sum(1 for a, b in zip(db.labels, noisy.labels) if a != b)
+        assert flips == 6
+        assert noisy.name.endswith("+labelnoise")
+
+    def test_zero_fraction_identity(self):
+        db = mutagenicity(n_graphs=10, seed=0)
+        noisy = with_label_noise(db, 0.0, seed=1)
+        assert noisy.labels == db.labels
+
+    def test_graphs_shared_not_copied(self):
+        db = mutagenicity(n_graphs=6, seed=0)
+        noisy = with_label_noise(db, 0.5, seed=0)
+        assert noisy.graphs[0] is db.graphs[0]
+
+    def test_invalid_fraction(self):
+        db = mutagenicity(n_graphs=4, seed=0)
+        with pytest.raises(DatasetError):
+            with_label_noise(db, 1.5)
+
+    def test_unlabelled_rejected(self):
+        with pytest.raises(DatasetError):
+            with_label_noise(GraphDatabase([Graph([0])]), 0.1)
+
+    def test_noisy_training_still_works(self):
+        """Classifier degrades gracefully; GVEX still produces views."""
+        db = with_label_noise(mutagenicity(n_graphs=24, seed=2), 0.15, seed=3)
+        model = GnnClassifier(14, 2, hidden_dims=(16, 16), seed=0)
+        model, encoder, metrics = train_classifier(
+            db, model, seed=0, max_epochs=60, patience=20
+        )
+        # imperfect but above chance
+        assert 0.5 < metrics["train_accuracy"] <= 1.0
+        config = GvexConfig(theta=0.08, radius=0.3).with_bounds(0, 5)
+        views = explain_database(db, model, config)
+        assert len(views) >= 1
+        assert any(v.subgraphs for v in views)
+
+
+class TestEdgeNoise:
+    def test_adds_edges_keeps_nodes(self):
+        db = mutagenicity(n_graphs=8, seed=0)
+        noisy = with_edge_noise(db, 0.3, seed=1)
+        for g, ng in zip(db.graphs, noisy.graphs):
+            assert ng.n_nodes == g.n_nodes
+            assert ng.n_edges >= g.n_edges
+        total_orig = db.total_edges()
+        total_noisy = noisy.total_edges()
+        assert total_noisy > total_orig
+
+    def test_original_edges_preserved(self):
+        db = mutagenicity(n_graphs=5, seed=0)
+        noisy = with_edge_noise(db, 0.5, seed=2)
+        for g, ng in zip(db.graphs, noisy.graphs):
+            for (u, v), t in g.edge_types.items():
+                assert ng.has_edge(u, v)
+
+    def test_labels_preserved(self):
+        db = mutagenicity(n_graphs=6, seed=0)
+        noisy = with_edge_noise(db, 0.2, seed=0)
+        assert noisy.labels == db.labels
+
+    def test_zero_noise_equal_graphs(self):
+        db = mutagenicity(n_graphs=4, seed=0)
+        noisy = with_edge_noise(db, 0.0, seed=0)
+        for g, ng in zip(db.graphs, noisy.graphs):
+            assert g == ng
+
+    def test_invalid_fraction(self):
+        db = mutagenicity(n_graphs=4, seed=0)
+        with pytest.raises(DatasetError):
+            with_edge_noise(db, -0.1)

@@ -1,0 +1,163 @@
+"""Tests for the relational (edge-type-aware) GNN and its GVEX integration."""
+
+import numpy as np
+import pytest
+
+from repro.config import GvexConfig
+from repro.core.approx import explain_graph
+from repro.exceptions import ModelError
+from repro.gnn.optim import Adam
+from repro.gnn.relational import RelationalGnnClassifier
+from repro.graphs.database import GraphDatabase
+from repro.graphs.graph import Graph, graph_from_edges
+from repro.utils.rng import ensure_rng
+
+
+def bond_task_db(n_per_class=12, seed=0):
+    """Same skeletons and node types; class 1 differs ONLY by one double
+    bond (edge type 1). A vanilla GCN is blind to this by construction."""
+    rng = ensure_rng(seed)
+    graphs, labels = [], []
+    for i in range(2 * n_per_class):
+        label = i % 2
+        size = int(rng.integers(5, 8))
+        g = Graph([0] * size)
+        for j in range(size - 1):
+            g.add_edge(j, j + 1, 0)
+        if label == 1:
+            # upgrade one interior bond to a double bond
+            j = int(rng.integers(0, size - 1))
+            key = (j, j + 1)
+            g.edge_types[key] = 1
+        graphs.append(g)
+        labels.append(label)
+    return GraphDatabase(graphs, labels=labels, name="bond-task")
+
+
+def _train(model, db, epochs=150, lr=0.01, seed=0):
+    rng = ensure_rng(seed)
+    opt = Adam(lr=lr)
+    order = np.arange(len(db))
+    for _ in range(epochs):
+        rng.shuffle(order)
+        for idx in order:
+            loss, grads = model.loss_and_grads(db[int(idx)], db.labels[int(idx)])
+            opt.step(model.parameters(), grads)
+    correct = sum(
+        1 for g, l in zip(db.graphs, db.labels) if model.predict(g) == l
+    )
+    return correct / len(db)
+
+
+class TestConstruction:
+    def test_invalid_args(self):
+        with pytest.raises(ModelError):
+            RelationalGnnClassifier(0, 2)
+        with pytest.raises(ModelError):
+            RelationalGnnClassifier(2, 1)
+        with pytest.raises(ModelError):
+            RelationalGnnClassifier(2, 2, n_edge_types=0)
+        with pytest.raises(ModelError):
+            RelationalGnnClassifier(2, 2, readout="median")
+
+    def test_parameter_count(self):
+        m = RelationalGnnClassifier(3, 2, n_edge_types=2, hidden_dims=(4, 4))
+        # per layer: 2 rel + 1 self + 1 bias = 4; 2 layers = 8; + head w/b
+        assert len(m.parameters()) == 10
+
+    def test_typed_adjacency_slots(self):
+        m = RelationalGnnClassifier(2, 2, n_edge_types=2)
+        g = Graph([0, 0, 0])
+        g.add_edge(0, 1, 0)
+        g.add_edge(1, 2, 1)
+        A0, A1 = m.typed_adjacencies(g)
+        assert A0[0, 1] > 0 and A0[1, 2] == 0
+        assert A1[1, 2] > 0 and A1[0, 1] == 0
+
+    def test_high_edge_types_fold_into_last(self):
+        m = RelationalGnnClassifier(2, 2, n_edge_types=2)
+        g = Graph([0, 0])
+        g.add_edge(0, 1, 7)
+        _, A1 = m.typed_adjacencies(g)
+        assert A1[0, 1] > 0
+
+
+class TestGradients:
+    @pytest.mark.parametrize("readout", ["max", "mean", "sum"])
+    def test_grads_match_finite_differences(self, readout):
+        m = RelationalGnnClassifier(
+            3, 2, n_edge_types=2, hidden_dims=(4,), readout=readout, seed=2
+        )
+        g = Graph([0, 1, 0, 1], features=np.random.default_rng(3).normal(size=(4, 3)))
+        g.add_edge(0, 1, 0)
+        g.add_edge(1, 2, 1)
+        g.add_edge(2, 3, 0)
+        _, grads = m.loss_and_grads(g, 1)
+        eps = 1e-6
+        from repro.gnn.loss import softmax_cross_entropy
+
+        for p, an in zip(m.parameters(), grads):
+            flat, gflat = p.reshape(-1), an.reshape(-1)
+            rng = np.random.default_rng(0)
+            for _ in range(3):
+                j = int(rng.integers(0, flat.size))
+                orig = flat[j]
+                flat[j] = orig + eps
+                lp, _ = softmax_cross_entropy(
+                    m.forward(m.features_for(g), m.typed_adjacencies(g))[0], 1
+                )
+                flat[j] = orig - eps
+                lm, _ = softmax_cross_entropy(
+                    m.forward(m.features_for(g), m.typed_adjacencies(g))[0], 1
+                )
+                flat[j] = orig
+                assert gflat[j] == pytest.approx((lp - lm) / (2 * eps), abs=1e-5)
+
+
+class TestEdgeTypeLearning:
+    def test_rgcn_learns_bond_task(self):
+        """The headline: edge features carry the class; R-GCN learns it."""
+        db = bond_task_db(12, seed=1)
+        model = RelationalGnnClassifier(
+            1, 2, n_edge_types=2, hidden_dims=(16, 16), seed=0
+        )
+        acc = _train(model, db, epochs=120)
+        assert acc >= 0.9
+
+    def test_vanilla_gcn_cannot(self):
+        """Control: the type-blind GCN stays at chance on the same task."""
+        from repro.gnn.model import GnnClassifier
+        from repro.gnn.training import LabelEncoder, Trainer
+
+        db = bond_task_db(12, seed=1)
+        model = GnnClassifier(1, 2, hidden_dims=(16, 16), seed=0)
+        trainer = Trainer(model, max_epochs=60, patience=60, seed=0)
+        trainer.fit(db, encoder=LabelEncoder(db.labels))
+        acc = trainer.evaluate(db, LabelEncoder(db.labels))
+        assert acc <= 0.7  # chance-ish: identical topology and node types
+
+    def test_gvex_explains_relational_model(self):
+        """Model-agnosticism: GVEX runs unchanged on the R-GCN and its
+        explanations isolate the double bond's endpoints."""
+        db = bond_task_db(12, seed=2)
+        model = RelationalGnnClassifier(
+            1, 2, n_edge_types=2, hidden_dims=(16, 16), seed=0
+        )
+        acc = _train(model, db, epochs=120)
+        assert acc >= 0.9
+        config = GvexConfig(theta=0.05, radius=0.4).with_bounds(0, 4)
+        hits = total = 0
+        for idx, label in enumerate(db.labels):
+            if label != 1 or model.predict(db[idx]) != 1:
+                continue
+            g = db[idx]
+            result = explain_graph(model, g, 1, config, graph_index=idx)
+            if result.subgraph is None:
+                continue
+            double_ends = {
+                v for (u, w), t in g.edge_types.items() if t == 1 for v in (u, w)
+            }
+            total += 1
+            hits += bool(double_ends & set(result.subgraph.nodes))
+        assert total > 0
+        assert hits / total >= 0.7

@@ -1,0 +1,129 @@
+"""Unit tests for repro.graphs.database and repro.graphs.view."""
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.graphs.database import GraphDatabase
+from repro.graphs.graph import Graph, graph_from_edges
+from repro.graphs.pattern import Pattern
+from repro.graphs.view import ExplanationSubgraph, ExplanationView, ViewSet
+
+
+def _db(n=6):
+    graphs = [graph_from_edges([0, 1], [(0, 1)]) for _ in range(n)]
+    labels = [i % 2 for i in range(n)]
+    return GraphDatabase(graphs, labels=labels, name="toy")
+
+
+class TestDatabase:
+    def test_len_iter_getitem(self):
+        db = _db()
+        assert len(db) == 6
+        assert db[0].n_nodes == 2
+        assert sum(1 for _ in db) == 6
+
+    def test_label_mismatch_rejected(self):
+        with pytest.raises(DatasetError):
+            GraphDatabase([Graph([0])], labels=[0, 1])
+
+    def test_totals(self):
+        db = _db(3)
+        assert db.total_nodes() == 6
+        assert db.total_edges() == 3
+
+    def test_label_groups_truth(self):
+        groups = _db().label_groups()
+        assert groups[0] == [0, 2, 4]
+        assert groups[1] == [1, 3, 5]
+
+    def test_label_groups_predicted(self):
+        db = _db(4)
+        groups = db.label_groups(predicted=["a", "a", "b", "a"])
+        assert groups["a"] == [0, 1, 3]
+        assert groups["b"] == [2]
+
+    def test_label_groups_wrong_length(self):
+        with pytest.raises(DatasetError):
+            _db(4).label_groups(predicted=[0])
+
+    def test_unlabelled_access(self):
+        db = GraphDatabase([Graph([0])])
+        with pytest.raises(DatasetError):
+            db.label_of(0)
+        with pytest.raises(DatasetError):
+            db.label_groups()
+
+    def test_subset(self):
+        sub = _db().subset([1, 3])
+        assert len(sub) == 2
+        assert sub.labels == [1, 1]
+
+    def test_split_partitions_everything(self):
+        db = _db(20)
+        train, val, test = db.split((0.8, 0.1, 0.1), seed=1)
+        assert len(train) + len(val) + len(test) == 20
+        assert len(train) == 16
+
+    def test_split_fractions_checked(self):
+        with pytest.raises(DatasetError):
+            _db().split((0.5, 0.1))
+
+    def test_split_deterministic(self):
+        db = _db(10)
+        a = db.split(seed=7)[0]
+        b = db.split(seed=7)[0]
+        assert [g.n_nodes for g in a] == [g.n_nodes for g in b]
+
+
+def _subgraph(idx=0, nodes=(0, 1), consistent=True, counterfactual=True):
+    sub = graph_from_edges([0, 1], [(0, 1)])
+    return ExplanationSubgraph(
+        graph_index=idx,
+        nodes=tuple(nodes),
+        subgraph=sub,
+        consistent=consistent,
+        counterfactual=counterfactual,
+        score=0.5,
+    )
+
+
+class TestView:
+    def test_is_explanation_requires_both(self):
+        assert _subgraph().is_explanation
+        assert not _subgraph(consistent=False).is_explanation
+        assert not _subgraph(counterfactual=False).is_explanation
+
+    def test_counts(self):
+        view = ExplanationView(label="mutagen")
+        view.subgraphs.append(_subgraph(0))
+        view.subgraphs.append(_subgraph(1))
+        view.patterns.append(Pattern.from_parts([0, 1], [(0, 1)]))
+        assert view.n_subgraph_nodes == 4
+        assert view.n_subgraph_edges == 2
+        assert view.n_pattern_nodes == 2
+        assert view.n_pattern_edges == 1
+
+    def test_compression(self):
+        view = ExplanationView(label=0)
+        view.subgraphs.append(_subgraph())
+        view.patterns.append(Pattern.singleton(0))
+        # subgraph size 3 (2 nodes + 1 edge), pattern size 1
+        assert view.compression() == pytest.approx(1 - 1 / 3)
+
+    def test_compression_empty(self):
+        assert ExplanationView(label=0).compression() == 0.0
+
+    def test_subgraph_for(self):
+        view = ExplanationView(label=0, subgraphs=[_subgraph(3)])
+        assert view.subgraph_for(3) is not None
+        assert view.subgraph_for(4) is None
+
+    def test_viewset(self):
+        vs = ViewSet()
+        vs.add(ExplanationView(label="a", score=1.0))
+        vs.add(ExplanationView(label="b", score=2.0))
+        assert len(vs) == 2
+        assert "a" in vs and "c" not in vs
+        assert vs.total_score() == pytest.approx(3.0)
+        assert set(vs.labels) == {"a", "b"}
+        assert vs["b"].score == 2.0

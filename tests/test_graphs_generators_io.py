@@ -1,0 +1,155 @@
+"""Unit tests for repro.graphs.generators, io, and convert."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import generators as gen
+from repro.graphs import io
+from repro.graphs.convert import from_networkx, to_networkx
+from repro.graphs.database import GraphDatabase
+from repro.graphs.graph import graph_from_edges
+from repro.graphs.pattern import Pattern
+from repro.graphs.view import ExplanationSubgraph, ExplanationView, ViewSet
+
+
+class TestGenerators:
+    def test_chain(self):
+        g = gen.chain_graph([0, 1, 2])
+        assert g.n_edges == 2
+        assert g.is_connected()
+
+    def test_ring(self):
+        g = gen.ring_graph([0] * 5)
+        assert g.n_edges == 5
+        assert all(g.degree(v) == 2 for v in g.nodes())
+
+    def test_ring_too_small(self):
+        with pytest.raises(GraphError):
+            gen.ring_graph([0, 0])
+
+    def test_star(self):
+        g = gen.star_graph(4, center_type=1)
+        assert g.degree(0) == 4
+        assert g.node_type(0) == 1
+
+    def test_biclique(self):
+        g = gen.biclique_graph(2, 3)
+        assert g.n_edges == 6
+        assert g.degree(0) == 3
+
+    def test_house_motif(self):
+        g = gen.house_motif()
+        assert g.n_nodes == 5
+        assert g.n_edges == 6
+
+    def test_cycle_motif(self):
+        g = gen.cycle_motif(6)
+        assert g.n_nodes == 6 and g.n_edges == 6
+
+    def test_random_tree(self):
+        g = gen.random_tree(10, seed=0)
+        assert g.n_edges == 9
+        assert g.is_connected()
+
+    def test_barabasi_albert(self):
+        g = gen.barabasi_albert(30, 2, seed=0)
+        assert g.n_nodes == 30
+        assert g.is_connected()
+        assert g.n_edges >= 28
+
+    def test_barabasi_albert_deterministic(self):
+        a = gen.barabasi_albert(20, 2, seed=5)
+        b = gen.barabasi_albert(20, 2, seed=5)
+        assert a == b
+
+    def test_erdos_renyi_extremes(self):
+        assert gen.erdos_renyi(10, 0.0, seed=0).n_edges == 0
+        assert gen.erdos_renyi(5, 1.0, seed=0).n_edges == 10
+
+    def test_sbm(self):
+        g, blocks = gen.stochastic_block_model([5, 5], 0.9, 0.05, seed=0)
+        assert g.n_nodes == 10
+        assert list(blocks[:5]) == [0] * 5
+
+    def test_disjoint_union(self):
+        a = gen.chain_graph([0, 1])
+        b = gen.ring_graph([2, 2, 2])
+        u, parts = gen.disjoint_union([a, b])
+        assert u.n_nodes == 5
+        assert u.n_edges == 4
+        assert parts[1] == [2, 3, 4]
+        assert not u.has_edge(1, 2)
+
+    def test_attach_motif_keeps_motif_induced(self):
+        host = gen.chain_graph([0] * 4)
+        motif = gen.ring_graph([1, 1, 1])
+        combined, motif_ids = gen.attach_motif(host, motif, anchor=0, seed=3)
+        assert combined.n_nodes == 7
+        sub, _ = combined.induced_subgraph(motif_ids)
+        assert sub.n_edges == 3  # ring intact
+        assert combined.is_connected()
+
+
+class TestIo:
+    def test_graph_roundtrip(self, tmp_path):
+        g = graph_from_edges(
+            [0, 1, 2], [(0, 1), (1, 2)], features=np.eye(3), directed=False
+        )
+        d = io.graph_to_dict(g)
+        assert io.graph_from_dict(d) == g
+
+    def test_directed_roundtrip(self):
+        g = graph_from_edges([0, 1], [(0, 1)], directed=True)
+        assert io.graph_from_dict(io.graph_to_dict(g)) == g
+
+    def test_database_roundtrip(self, tmp_path):
+        db = GraphDatabase(
+            [graph_from_edges([0, 1], [(0, 1)])], labels=[1], name="x"
+        )
+        path = tmp_path / "db.json"
+        io.save_database(db, path)
+        loaded = io.load_database(path)
+        assert loaded.name == "x"
+        assert loaded.labels == [1]
+        assert loaded[0] == db[0]
+
+    def test_viewset_roundtrip(self, tmp_path):
+        sub = graph_from_edges([0, 1], [(0, 1)])
+        view = ExplanationView(
+            label="mutagen",
+            score=1.5,
+            subgraphs=[
+                ExplanationSubgraph(0, (2, 5), sub, consistent=True, score=0.7)
+            ],
+            patterns=[Pattern.from_parts([0, 1], [(0, 1)])],
+        )
+        vs = ViewSet()
+        vs.add(view)
+        path = tmp_path / "views.json"
+        io.save_views(vs, path)
+        loaded = io.load_views(path)
+        assert "mutagen" in loaded
+        got = loaded["mutagen"]
+        assert got.score == 1.5
+        assert got.subgraphs[0].nodes == (2, 5)
+        assert got.subgraphs[0].consistent and not got.subgraphs[0].counterfactual
+        assert got.patterns[0].key() == view.patterns[0].key()
+
+
+class TestConvert:
+    def test_to_networkx_types(self):
+        g = graph_from_edges([3, 4], [(0, 1)])
+        nxg = to_networkx(g)
+        assert nxg.nodes[0]["type"] == 3
+        assert nxg.edges[0, 1]["type"] == 0
+
+    def test_roundtrip(self):
+        g = graph_from_edges([1, 2, 3], [(0, 1), (1, 2)])
+        assert from_networkx(to_networkx(g)) == g
+
+    def test_directed_roundtrip(self):
+        g = graph_from_edges([0, 1], [(0, 1)], directed=True)
+        back = from_networkx(to_networkx(g))
+        assert back.directed
+        assert back.has_edge(0, 1) and not back.has_edge(1, 0)

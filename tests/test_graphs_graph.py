@@ -1,0 +1,163 @@
+"""Unit tests for repro.graphs.graph."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph, graph_from_edges
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph([])
+        assert g.n_nodes == 0
+        assert g.n_edges == 0
+        assert not g.is_connected()
+
+    def test_nodes_and_types(self):
+        g = Graph([0, 1, 2, 1])
+        assert g.n_nodes == 4
+        assert g.node_type(1) == 1
+        assert g.node_type(3) == 1
+
+    def test_add_edge_undirected_symmetric(self):
+        g = Graph([0, 0])
+        g.add_edge(0, 1)
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert g.neighbors(0) == {1}
+        assert g.neighbors(1) == {0}
+
+    def test_add_edge_directed(self):
+        g = Graph([0, 0], directed=True)
+        g.add_edge(0, 1)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+        assert g.neighbors(0) == {1}
+        assert g.neighbors(1) == set()
+        assert g.in_neighbors(1) == {0}
+
+    def test_self_loop_rejected(self):
+        g = Graph([0])
+        with pytest.raises(GraphError):
+            g.add_edge(0, 0)
+
+    def test_out_of_range_edge_rejected(self):
+        g = Graph([0, 0])
+        with pytest.raises(GraphError):
+            g.add_edge(0, 5)
+
+    def test_duplicate_edge_same_type_ok(self):
+        g = Graph([0, 0])
+        g.add_edge(0, 1, edge_type=2)
+        g.add_edge(1, 0, edge_type=2)  # same undirected edge
+        assert g.n_edges == 1
+
+    def test_duplicate_edge_conflicting_type_rejected(self):
+        g = Graph([0, 0])
+        g.add_edge(0, 1, edge_type=1)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, edge_type=2)
+
+    def test_features_shape_checked(self):
+        with pytest.raises(GraphError):
+            Graph([0, 1], features=np.zeros((3, 2)))
+
+    def test_graph_from_edges(self):
+        g = graph_from_edges([0, 1, 2], [(0, 1), (1, 2)])
+        assert g.n_edges == 2
+        assert g.is_connected()
+
+
+class TestFeatures:
+    def test_explicit_features_returned(self):
+        X = np.arange(6, dtype=float).reshape(3, 2)
+        g = Graph([0, 0, 0], features=X)
+        assert np.array_equal(g.feature_matrix(), X)
+
+    def test_onehot_fallback(self):
+        g = Graph([0, 2, 1])
+        X = g.feature_matrix()
+        assert X.shape == (3, 3)
+        assert X[0, 0] == 1 and X[1, 2] == 1 and X[2, 1] == 1
+        assert X.sum() == 3
+
+    def test_onehot_fixed_width(self):
+        g = Graph([0, 1])
+        assert g.feature_matrix(n_types=5).shape == (2, 5)
+
+
+class TestStructureOps:
+    @pytest.fixture
+    def path5(self):
+        return graph_from_edges([0, 1, 2, 3, 4], [(i, i + 1) for i in range(4)])
+
+    def test_adjacency_matrix(self, path5):
+        A = path5.adjacency_matrix()
+        assert A.shape == (5, 5)
+        assert A[0, 1] == 1 and A[1, 0] == 1
+        assert A[0, 2] == 0
+        assert np.allclose(A, A.T)
+
+    def test_induced_subgraph_keeps_internal_edges(self, path5):
+        sub, mapping = path5.induced_subgraph([1, 2, 3])
+        assert sub.n_nodes == 3
+        assert sub.n_edges == 2
+        assert mapping == [1, 2, 3]
+        assert list(sub.node_types) == [1, 2, 3]
+
+    def test_induced_subgraph_drops_external_edges(self, path5):
+        sub, _ = path5.induced_subgraph([0, 2, 4])
+        assert sub.n_edges == 0
+
+    def test_induced_subgraph_bad_node(self, path5):
+        with pytest.raises(GraphError):
+            path5.induced_subgraph([0, 99])
+
+    def test_remove_nodes(self, path5):
+        rest, mapping = path5.remove_nodes([2])
+        assert rest.n_nodes == 4
+        assert rest.n_edges == 2  # (0,1) and (3,4)
+        assert mapping == [0, 1, 3, 4]
+
+    def test_connected_components(self):
+        g = graph_from_edges([0] * 5, [(0, 1), (2, 3)])
+        comps = g.connected_components()
+        assert sorted(map(tuple, comps)) == [(0, 1), (2, 3), (4,)]
+
+    def test_is_connected(self, path5):
+        assert path5.is_connected()
+        g = graph_from_edges([0, 0, 0], [(0, 1)])
+        assert not g.is_connected()
+
+    def test_k_hop_nodes(self, path5):
+        assert path5.k_hop_nodes(0, 0) == {0}
+        assert path5.k_hop_nodes(0, 2) == {0, 1, 2}
+        assert path5.k_hop_nodes(2, 10) == {0, 1, 2, 3, 4}
+
+    def test_is_connected_subset(self, path5):
+        assert path5.is_connected_subset([1, 2, 3])
+        assert not path5.is_connected_subset([0, 2])
+        assert not path5.is_connected_subset([])
+
+    def test_directed_connectivity_is_weak(self):
+        g = Graph([0, 0, 0], directed=True)
+        g.add_edge(0, 1)
+        g.add_edge(2, 1)
+        assert g.is_connected()
+        assert g.k_hop_nodes(0, 2) == {0, 1, 2}
+
+
+class TestEquality:
+    def test_copy_equal(self):
+        g = graph_from_edges([0, 1], [(0, 1)], features=np.ones((2, 2)))
+        assert g.copy() == g
+
+    def test_different_types_not_equal(self):
+        a = graph_from_edges([0, 1], [(0, 1)])
+        b = graph_from_edges([0, 2], [(0, 1)])
+        assert a != b
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Graph([0]))

@@ -1,0 +1,79 @@
+"""Unit tests for repro.graphs.pattern."""
+
+import pytest
+
+from repro.exceptions import PatternError
+from repro.graphs.graph import Graph, graph_from_edges
+from repro.graphs.pattern import Pattern
+
+
+class TestConstruction:
+    def test_singleton(self):
+        p = Pattern.singleton(3)
+        assert p.n_nodes == 1
+        assert p.n_edges == 0
+        assert p.node_type(0) == 3
+
+    def test_from_parts(self):
+        p = Pattern.from_parts([0, 1, 0], [(0, 1), (1, 2)])
+        assert p.n_nodes == 3
+        assert p.n_edges == 2
+        assert p.size == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern(Graph([]))
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern.from_parts([0, 0, 0], [(0, 1)])
+
+    def test_edge_types_length_checked(self):
+        with pytest.raises(PatternError):
+            Pattern.from_parts([0, 0], [(0, 1)], edge_types=[0, 1])
+
+    def test_from_induced_strips_features(self):
+        import numpy as np
+
+        host = graph_from_edges(
+            [5, 6, 7], [(0, 1), (1, 2)], features=np.ones((3, 4))
+        )
+        p = Pattern.from_induced(host, [0, 1])
+        assert p.n_nodes == 2
+        assert p.graph.features is None
+        assert p.node_type(0) == 5
+        assert p.node_type(1) == 6
+
+
+class TestKeys:
+    def test_isomorphic_patterns_same_key(self):
+        # same triangle, different node orderings
+        a = Pattern.from_parts([0, 1, 2], [(0, 1), (1, 2), (2, 0)])
+        b = Pattern.from_parts([2, 0, 1], [(0, 1), (1, 2), (2, 0)])
+        assert a.key() == b.key()
+        assert hash(a) == hash(b)
+
+    def test_different_types_different_key(self):
+        a = Pattern.from_parts([0, 0], [(0, 1)])
+        b = Pattern.from_parts([0, 1], [(0, 1)])
+        assert a.key() != b.key()
+
+    def test_different_structure_different_key(self):
+        path = Pattern.from_parts([0, 0, 0], [(0, 1), (1, 2)])
+        tri = Pattern.from_parts([0, 0, 0], [(0, 1), (1, 2), (2, 0)])
+        assert path.key() != tri.key()
+
+    def test_edge_type_matters(self):
+        a = Pattern.from_parts([0, 0], [(0, 1)], edge_types=[0])
+        b = Pattern.from_parts([0, 0], [(0, 1)], edge_types=[1])
+        assert a.key() != b.key()
+
+    def test_direction_matters(self):
+        a = Pattern.from_parts([0, 1], [(0, 1)], directed=True)
+        b = Pattern.from_parts([0, 1], [(0, 1)], directed=False)
+        assert a.key() != b.key()
+
+    def test_equality_is_structural(self):
+        a = Pattern.from_parts([0, 1], [(0, 1)])
+        b = Pattern.from_parts([0, 1], [(0, 1)])
+        assert a == b

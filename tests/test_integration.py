@@ -1,0 +1,152 @@
+"""End-to-end integration tests: train → explain → verify → persist →
+query → measure, across multiple datasets, plus failure injection."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import GvexConfig
+from repro.core.approx import ApproxGvex, explain_database
+from repro.core.streaming import StreamGvex
+from repro.core.verifiers import verify_view
+from repro.datasets import get_trained
+from repro.exceptions import ConfigurationError, DatasetError, GraphError, ModelError
+from repro.graphs.database import GraphDatabase
+from repro.graphs.graph import Graph, graph_from_edges
+from repro.graphs.io import load_views, save_views
+from repro.matching.coverage import CoverageIndex
+from repro.metrics.conciseness import mean_compression, sparsity
+from repro.metrics.fidelity import fidelity_scores
+from repro.query import ViewIndex
+
+
+@pytest.mark.parametrize("dataset", ["pcqm4m", "enzymes", "ba_synthetic"])
+def test_full_pipeline(dataset, tmp_path):
+    """The complete GVEX lifecycle on three different domains."""
+    trained = get_trained(dataset, scale="test", seed=0)
+    config = GvexConfig(theta=0.08, radius=0.35).with_bounds(0, 6)
+
+    # explain
+    views = explain_database(trained.db, trained.model, config)
+    assert len(views) >= 2
+    for view in views:
+        assert view.subgraphs
+        index = CoverageIndex([s.subgraph for s in view.subgraphs])
+        assert index.covers_all_nodes(view.patterns)
+        # C1 + C3 hold under the formal verifier too
+        verification = verify_view(
+            view, trained.db.graphs, trained.model, config, label=view.label
+        )
+        assert verification.c1_patterns_cover_nodes
+        assert verification.c3_properly_covers
+
+    # persist + reload + query
+    path = tmp_path / f"{dataset}.json"
+    save_views(views, path)
+    loaded = load_views(path)
+    index = ViewIndex(loaded, db=trained.db)
+    for label in loaded.labels:
+        pats = index.patterns_for_label(label)
+        assert len(pats) == len(views[label].patterns)
+
+    # metrics are finite and sane
+    expl_map = {
+        s.graph_index: s for v in views for s in v.subgraphs
+    }
+    plus, minus = fidelity_scores(trained.model, trained.db, expl_map)
+    assert np.isfinite(plus) and np.isfinite(minus)
+    assert 0.0 <= sparsity(trained.db, expl_map) <= 1.0
+    assert -1.0 <= mean_compression(views) <= 1.0
+
+
+def test_stream_and_batch_agree_on_verification(trained_model, mutagen_db):
+    """Both algorithms' views satisfy C1 under the formal verifier."""
+    config = GvexConfig(theta=0.08, radius=0.3).with_bounds(0, 6)
+    for views in (
+        explain_database(mutagen_db, trained_model, config),
+        StreamGvex(trained_model, config).explain(mutagen_db),
+    ):
+        for view in views:
+            result = verify_view(
+                view, mutagen_db.graphs, trained_model, config, label=view.label
+            )
+            assert result.c1_patterns_cover_nodes
+            assert result.c3_properly_covers
+
+
+class TestFailureInjection:
+    def test_corrupted_views_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(json.JSONDecodeError):
+            load_views(path)
+
+    def test_views_json_missing_fields(self, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text(json.dumps({"views": [{"label": 1}]}))
+        with pytest.raises(KeyError):
+            load_views(path)
+
+    def test_nan_features_do_not_crash_explainer(self, trained_model):
+        config = GvexConfig().with_bounds(0, 3)
+        g = graph_from_edges(
+            [0, 1, 2], [(0, 1), (1, 2)], features=np.full((3, 3), np.nan)
+        )
+        # predictions on NaN features are garbage but must not raise
+        from repro.core.approx import explain_graph
+
+        label = trained_model.predict(g)
+        result = explain_graph(
+            trained_model, g, label if label is not None else 0, config
+        )
+        assert result is not None  # degraded output, no crash
+
+    def test_mismatched_feature_width_raises(self, trained_model):
+        g = graph_from_edges([0, 1], [(0, 1)], features=np.ones((2, 99)))
+        with pytest.raises(ModelError):
+            trained_model.predict(g)
+
+    def test_config_rejects_bad_bounds(self):
+        with pytest.raises(ConfigurationError):
+            GvexConfig().with_bounds(5, 2)
+
+    def test_config_rejects_bad_modes(self):
+        with pytest.raises(ConfigurationError):
+            GvexConfig(verification="vibes")
+        with pytest.raises(ConfigurationError):
+            GvexConfig(jacobian="psychic")
+        with pytest.raises(ConfigurationError):
+            GvexConfig(stream_batch_size=0)
+
+    def test_empty_database_explain(self, trained_model, small_config):
+        views = explain_database(
+            GraphDatabase([], labels=[]), trained_model, small_config
+        )
+        assert len(views) == 0
+
+    def test_database_of_empty_graphs(self, trained_model, small_config):
+        db = GraphDatabase([Graph([]), Graph([])], labels=[0, 0])
+        views = explain_database(db, trained_model, small_config)
+        assert len(views) == 0  # empty graphs produce no predictions
+
+    def test_single_node_graphs(self, trained_model, small_config):
+        db = GraphDatabase([Graph([0]), Graph([1])], labels=[0, 1])
+        views = explain_database(db, trained_model, small_config)
+        for view in views:
+            for sub in view.subgraphs:
+                assert sub.n_nodes == 1
+
+    def test_zero_upper_bound_produces_no_subgraphs(self, trained_model, mutagen_db):
+        config = GvexConfig().with_bounds(0, 0)
+        views = explain_database(mutagen_db, trained_model, config)
+        for view in views:
+            assert view.subgraphs == []
+
+    def test_model_load_from_garbage(self, tmp_path):
+        from repro.gnn.model import GnnClassifier
+
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"garbage")
+        with pytest.raises(Exception):
+            GnnClassifier.load(path)

@@ -1,0 +1,125 @@
+"""Tests for pattern coverage (PMatch) and the incremental matcher (IncPMatch)."""
+
+import pytest
+
+from repro.graphs.generators import chain_graph, ring_graph
+from repro.graphs.graph import graph_from_edges
+from repro.graphs.pattern import Pattern
+from repro.matching.coverage import CoverageIndex, covered_node_count, match_coverage
+from repro.matching.incremental import IncrementalMatcher
+
+
+class TestMatchCoverage:
+    def test_full_coverage_of_matching_host(self):
+        host = ring_graph([0] * 5)
+        ring = Pattern(ring_graph([0] * 5))
+        cov = match_coverage(ring, host)
+        assert cov.n_nodes == 5
+        assert cov.n_edges == 5
+
+    def test_partial_coverage(self):
+        # type-1 singleton covers only the type-1 nodes
+        host = graph_from_edges([0, 1, 1, 0], [(0, 1), (1, 2), (2, 3)])
+        cov = match_coverage(Pattern.singleton(1), host)
+        assert cov.nodes == frozenset({(0, 1), (0, 2)})
+        assert cov.n_edges == 0
+
+    def test_edge_coverage_canonical_keys(self):
+        host = chain_graph([0, 0, 0])
+        edge = Pattern.from_parts([0, 0], [(0, 1)])
+        cov = match_coverage(edge, host)
+        assert cov.edges == frozenset({(0, (0, 1)), (0, (1, 2))})
+
+    def test_no_match_empty_coverage(self):
+        host = chain_graph([0, 0])
+        cov = match_coverage(Pattern.singleton(5), host)
+        assert cov.n_nodes == 0 and cov.n_edges == 0
+
+    def test_match_cap_limits_work(self):
+        host = ring_graph([0] * 8)
+        edge = Pattern.from_parts([0, 0], [(0, 1)])
+        cov = match_coverage(edge, host, match_cap=1)
+        assert cov.n_nodes == 2
+
+
+class TestCoverageIndex:
+    def test_multi_host_coverage(self):
+        hosts = [chain_graph([0, 1]), chain_graph([1, 1])]
+        index = CoverageIndex(hosts)
+        cov = index.coverage(Pattern.singleton(1))
+        assert cov.nodes == frozenset({(0, 1), (1, 0), (1, 1)})
+        assert index.n_nodes == 4
+        assert index.n_edges == 2
+
+    def test_cache_shared_for_isomorphic_patterns(self):
+        hosts = [chain_graph([0, 1, 0])]
+        index = CoverageIndex(hosts)
+        a = Pattern.from_parts([0, 1], [(0, 1)])
+        b = Pattern.from_parts([1, 0], [(0, 1)])
+        assert index.coverage(a) is index.coverage(b)
+
+    def test_covers_all_nodes(self):
+        hosts = [chain_graph([0, 1, 0])]
+        index = CoverageIndex(hosts)
+        assert not index.covers_all_nodes([Pattern.singleton(0)])
+        assert index.covers_all_nodes(
+            [Pattern.singleton(0), Pattern.singleton(1)]
+        )
+
+    def test_covered_node_count(self):
+        hosts = [chain_graph([0, 1]), chain_graph([0, 0])]
+        assert covered_node_count([Pattern.singleton(0)], hosts) == 3
+
+
+class TestIncrementalMatcher:
+    def test_streaming_matches_batch(self):
+        """Incremental coverage equals batch coverage on the final host."""
+        inc = IncrementalMatcher()
+        tri = Pattern.from_parts([0, 0, 0], [(0, 1), (1, 2), (2, 0)])
+        single1 = Pattern.singleton(1)
+        inc.register(tri)
+        inc.register(single1)
+        # stream: triangle 0-1-2, then a type-1 pendant, then another triangle
+        inc.add_node(0)
+        inc.add_node(0, edges=[(0, 0)])
+        inc.add_node(0, edges=[(0, 0), (1, 0)])
+        inc.add_node(1, edges=[(2, 0)])
+        inc.add_node(0, edges=[(3, 0)])
+        inc.add_node(0, edges=[(3, 0), (4, 0)])
+
+        host = inc.host_graph()
+        batch_tri = match_coverage(tri, host)
+        assert inc.covered_nodes(tri) == {v for (_, v) in batch_tri.nodes}
+        assert inc.covered_edges(tri) == {e for (_, e) in batch_tri.edges}
+        assert inc.covered_nodes(single1) == {3}
+
+    def test_register_after_stream_catches_up(self):
+        inc = IncrementalMatcher()
+        inc.add_node(0)
+        inc.add_node(0, edges=[(0, 0)])
+        edge = Pattern.from_parts([0, 0], [(0, 1)])
+        inc.register(edge)
+        assert inc.covered_nodes(edge) == {0, 1}
+
+    def test_union_covered_nodes(self):
+        inc = IncrementalMatcher()
+        inc.register(Pattern.singleton(0))
+        inc.register(Pattern.singleton(1))
+        inc.add_node(0)
+        inc.add_node(1)
+        inc.add_node(2)
+        assert inc.union_covered_nodes() == {0, 1}
+
+    def test_bad_edge_endpoint_rejected(self):
+        inc = IncrementalMatcher()
+        inc.add_node(0)
+        with pytest.raises(ValueError):
+            inc.add_node(0, edges=[(5, 0)])
+
+    def test_directed_stream(self):
+        inc = IncrementalMatcher(directed=True)
+        fwd = Pattern.from_parts([0, 1], [(0, 1)], directed=True)
+        inc.register(fwd)
+        a = inc.add_node(0)
+        b = inc.add_node(1, edges=[(a, 0)])  # edge a -> b
+        assert inc.covered_nodes(fwd) == {a, b}

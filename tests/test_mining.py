@@ -1,0 +1,159 @@
+"""Tests for pattern enumeration (ESU) and mining (PGen/IncPGen)."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.exceptions import MiningError
+from repro.graphs.generators import chain_graph, erdos_renyi, ring_graph, star_graph
+from repro.graphs.graph import graph_from_edges
+from repro.graphs.pattern import Pattern
+from repro.matching.isomorphism import are_isomorphic, is_subgraph_isomorphic
+from repro.mining.enumerate import connected_node_subsets, count_connected_subsets
+from repro.mining.mdl import MinedPattern, mdl_score
+from repro.mining.pgen import mine_incremental, mine_patterns
+
+
+def _brute_force_subsets(graph, max_size, min_size=1):
+    out = set()
+    for k in range(min_size, max_size + 1):
+        for combo in combinations(range(graph.n_nodes), k):
+            if graph.is_connected_subset(combo):
+                out.add(tuple(sorted(combo)))
+    return out
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force(self, seed):
+        g = erdos_renyi(8, 0.3, seed=seed)
+        esu = set(connected_node_subsets(g, 4, cap=None))
+        brute = _brute_force_subsets(g, 4)
+        assert esu == brute
+
+    def test_no_duplicates(self):
+        g = ring_graph([0] * 6)
+        subsets = list(connected_node_subsets(g, 4, cap=None))
+        assert len(subsets) == len(set(subsets))
+
+    def test_min_size_respected(self):
+        g = chain_graph([0] * 4)
+        subsets = set(connected_node_subsets(g, 3, min_size=2, cap=None))
+        assert all(len(s) >= 2 for s in subsets)
+        assert (0, 1) in subsets
+
+    def test_ring_counts(self):
+        # ring of n: n singletons, n edges, n paths of 3
+        g = ring_graph([0] * 5)
+        assert count_connected_subsets(g, 1) == 5
+        assert count_connected_subsets(g, 2) == 10
+        assert count_connected_subsets(g, 3) == 15
+
+    def test_cap_truncates(self):
+        g = ring_graph([0] * 10)
+        subsets = list(connected_node_subsets(g, 4, cap=7))
+        assert len(subsets) == 7
+
+    def test_invalid_sizes_yield_nothing(self):
+        g = chain_graph([0, 0])
+        assert list(connected_node_subsets(g, 0)) == []
+        assert list(connected_node_subsets(g, 2, min_size=3)) == []
+
+    def test_directed_uses_weak_connectivity(self):
+        g = graph_from_edges([0, 0, 0], [(0, 1), (2, 1)], directed=True)
+        subsets = set(connected_node_subsets(g, 3, cap=None))
+        assert (0, 1, 2) in subsets
+
+
+class TestMdl:
+    def test_structure_beats_singleton(self):
+        edge = Pattern.from_parts([0, 0], [(0, 1)])
+        single = Pattern.singleton(0)
+        assert mdl_score(edge, 5) > mdl_score(single, 5)
+
+    def test_more_embeddings_better(self):
+        p = Pattern.from_parts([0, 0], [(0, 1)])
+        assert mdl_score(p, 10) > mdl_score(p, 2)
+
+    def test_singleton_never_positive(self):
+        assert mdl_score(Pattern.singleton(0), 1000) <= 0
+
+
+class TestMinePatterns:
+    def test_finds_shared_motif(self):
+        # two hosts sharing a type-1 triangle
+        hosts = []
+        for _ in range(2):
+            g = graph_from_edges(
+                [1, 1, 1, 0], [(0, 1), (1, 2), (2, 0), (2, 3)]
+            )
+            hosts.append(g)
+        mined = mine_patterns(hosts, max_size=3, min_support=2)
+        triangle = Pattern.from_parts([1, 1, 1], [(0, 1), (1, 2), (2, 0)])
+        assert any(are_isomorphic(m.pattern, triangle) for m in mined)
+        top = mined[0]
+        assert top.support == 2
+
+    def test_singletons_always_present(self):
+        hosts = [chain_graph([0, 1])]
+        mined = mine_patterns(hosts, max_size=2, min_support=5)  # nothing frequent
+        types = {
+            m.pattern.node_type(0) for m in mined if m.pattern.n_nodes == 1
+        }
+        assert types == {0, 1}
+
+    def test_min_support_filters(self):
+        hosts = [chain_graph([0, 0]), chain_graph([1, 1])]
+        mined = mine_patterns(hosts, max_size=2, min_support=2)
+        multi = [m for m in mined if m.pattern.n_nodes > 1]
+        assert multi == []  # no pattern occurs in both hosts
+
+    def test_max_candidates_cap(self):
+        hosts = [erdos_renyi(8, 0.4, seed=1)]
+        mined = mine_patterns(hosts, max_size=4, max_candidates=3)
+        non_single = [m for m in mined if m.pattern.n_nodes > 1]
+        assert len(non_single) <= 3
+
+    def test_sorted_by_mdl(self):
+        hosts = [ring_graph([0] * 6)]
+        mined = mine_patterns(hosts, max_size=3)
+        scores = [m.mdl_score for m in mined if m.pattern.n_nodes > 1]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_mined_patterns_occur_in_hosts(self):
+        hosts = [erdos_renyi(7, 0.35, seed=3)]
+        for m in mine_patterns(hosts, max_size=3):
+            if m.pattern.n_nodes > 1:
+                assert is_subgraph_isomorphic(m.pattern, hosts[0])
+
+    def test_invalid_args(self):
+        with pytest.raises(MiningError):
+            mine_patterns([], max_size=0)
+        with pytest.raises(MiningError):
+            mine_patterns([], min_support=0)
+
+
+class TestMineIncremental:
+    def test_only_patterns_containing_new_node(self):
+        host = chain_graph([0, 0, 0, 1])
+        fresh = mine_incremental(host, new_node=3, radius=1, known=[], max_size=2)
+        # all returned patterns must involve the type-1 node
+        for p in fresh:
+            types = {p.node_type(v) for v in p.graph.nodes()}
+            assert 1 in types
+
+    def test_known_patterns_excluded(self):
+        host = chain_graph([0, 0])
+        edge = Pattern.from_parts([0, 0], [(0, 1)])
+        single = Pattern.singleton(0)
+        fresh = mine_incremental(
+            host, new_node=1, radius=1, known=[edge, single], max_size=2
+        )
+        assert fresh == []
+
+    def test_radius_limits_scope(self):
+        host = chain_graph([0, 0, 0, 0, 2])
+        fresh = mine_incremental(host, new_node=0, radius=1, known=[], max_size=3)
+        for p in fresh:
+            types = {p.node_type(v) for v in p.graph.nodes()}
+            assert 2 not in types  # type-2 node is 4 hops away

@@ -1,0 +1,165 @@
+"""Cross-module property-based tests (hypothesis).
+
+Invariants checked on randomly generated graphs:
+  * JSON io is a lossless roundtrip;
+  * WL pattern keys are invariant under node relabelling;
+  * induced subsets of a host always match it (induced isomorphism);
+  * pattern coverage is monotone in the pattern set;
+  * Psum always reaches full node coverage and valid edge loss;
+  * ESU enumeration equals brute force on small graphs.
+"""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import GvexConfig
+from repro.core.psum import summarize
+from repro.graphs.graph import Graph
+from repro.graphs.io import graph_from_dict, graph_to_dict
+from repro.graphs.pattern import Pattern
+from repro.matching.coverage import CoverageIndex
+from repro.matching.isomorphism import is_subgraph_isomorphic
+from repro.mining.enumerate import connected_node_subsets
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+@st.composite
+def random_graphs(draw, max_nodes=8, max_types=3, directed=None):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    types = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=max_types - 1),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    is_directed = (
+        draw(st.booleans()) if directed is None else directed
+    )
+    g = Graph(types, directed=is_directed)
+    possible = [
+        (u, v) for u in range(n) for v in range(n) if u != v
+    ] if is_directed else list(combinations(range(n), 2))
+    if possible:
+        chosen = draw(
+            st.lists(
+                st.sampled_from(possible),
+                unique=True,
+                max_size=min(len(possible), 12),
+            )
+        )
+        for u, v in chosen:
+            if not g.has_edge(u, v):
+                etype = draw(st.integers(min_value=0, max_value=1))
+                g.add_edge(u, v, etype)
+    return g
+
+
+@st.composite
+def graphs_with_connected_subsets(draw):
+    g = draw(random_graphs(max_nodes=7, directed=False))
+    comps = g.connected_components()
+    comp = comps[draw(st.integers(0, len(comps) - 1))]
+    size = draw(st.integers(min_value=1, max_value=len(comp)))
+    # grow a connected subset by BFS from a random start
+    start = comp[draw(st.integers(0, len(comp) - 1))]
+    subset = {start}
+    frontier = sorted(g.all_neighbors(start))
+    while frontier and len(subset) < size:
+        v = frontier.pop(draw(st.integers(0, len(frontier) - 1)) if len(frontier) > 1 else 0)
+        if v in subset:
+            continue
+        subset.add(v)
+        frontier.extend(w for w in g.all_neighbors(v) if w not in subset)
+    return g, sorted(subset)
+
+
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(g=random_graphs())
+def test_io_roundtrip(g):
+    assert graph_from_dict(graph_to_dict(g)) == g
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data(), g=random_graphs(directed=False))
+def test_wl_key_permutation_invariant(data, g):
+    comps = g.connected_components()
+    comp = comps[0]
+    sub, _ = g.induced_subgraph(comp)
+    if not sub.is_connected():
+        return
+    p1 = Pattern(sub)
+    # relabel by a random permutation
+    perm = data.draw(st.permutations(range(sub.n_nodes)))
+    relabelled = Graph([sub.node_type(perm[i]) for i in range(sub.n_nodes)])
+    inverse = {perm[i]: i for i in range(sub.n_nodes)}
+    for u, v, t in sub.edges():
+        relabelled.add_edge(inverse[u], inverse[v], t)
+    p2 = Pattern(relabelled)
+    assert p1.key() == p2.key()
+
+
+@settings(max_examples=60, deadline=None)
+@given(pair=graphs_with_connected_subsets())
+def test_induced_subsets_always_match(pair):
+    g, subset = pair
+    pattern = Pattern.from_induced(g, subset)
+    assert is_subgraph_isomorphic(pattern, g)
+
+
+@settings(max_examples=40, deadline=None)
+@given(pair=graphs_with_connected_subsets())
+def test_coverage_monotone(pair):
+    g, subset = pair
+    index = CoverageIndex([g])
+    p_small = Pattern.from_induced(g, subset[:1])
+    p_big = Pattern.from_induced(g, subset)
+    covered_small = index.coverage(p_small).nodes
+    both = covered_small | index.coverage(p_big).nodes
+    # adding a pattern never removes coverage
+    assert covered_small <= both
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    gs=st.lists(random_graphs(max_nodes=6, directed=False), min_size=1, max_size=3)
+)
+def test_psum_always_covers_nodes(gs):
+    result = summarize(gs, GvexConfig(max_pattern_size=3))
+    assert result.node_coverage_complete
+    assert 0.0 <= result.edge_loss <= 1.0
+    # every selected pattern matches at least one host
+    for p in result.patterns:
+        assert any(is_subgraph_isomorphic(p, g) for g in gs if g.n_nodes)
+
+
+@settings(max_examples=30, deadline=None)
+@given(g=random_graphs(max_nodes=7))
+def test_esu_matches_bruteforce(g):
+    esu = set(connected_node_subsets(g, 3, cap=None))
+    brute = set()
+    for k in (1, 2, 3):
+        for combo in combinations(range(g.n_nodes), k):
+            if g.is_connected_subset(combo):
+                brute.add(tuple(sorted(combo)))
+    assert esu == brute
+
+
+@settings(max_examples=40, deadline=None)
+@given(pair=graphs_with_connected_subsets())
+def test_remove_then_induce_partition(pair):
+    """induced(S) and remove(S) partition nodes and never share edges."""
+    g, subset = pair
+    sub, sub_ids = g.induced_subgraph(subset)
+    rest, rest_ids = g.remove_nodes(subset)
+    assert sorted(sub_ids + rest_ids) == list(range(g.n_nodes))
+    assert sub.n_nodes + rest.n_nodes == g.n_nodes
+    # edge counts: internal(S) + internal(rest) <= total
+    assert sub.n_edges + rest.n_edges <= g.n_edges

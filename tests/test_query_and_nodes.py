@@ -1,0 +1,204 @@
+"""Tests for the query engine (ViewIndex) and node-classification GVEX."""
+
+import numpy as np
+import pytest
+
+from repro.config import GvexConfig
+from repro.core.approx import explain_database
+from repro.core.node_explain import CenterGraphClassifier, explain_node
+from repro.exceptions import ExplanationError
+from repro.gnn.node_model import NodeGnnClassifier
+from repro.graphs.generators import stochastic_block_model
+from repro.graphs.graph import Graph, graph_from_edges
+from repro.graphs.pattern import Pattern
+from repro.query import ViewIndex
+
+from tests.conftest import C, N, O, nitro_motif
+
+
+@pytest.fixture(scope="module")
+def indexed_views(trained_model, mutagen_db, request):
+    config = GvexConfig(theta=0.08, radius=0.3).with_bounds(0, 6)
+    views = explain_database(mutagen_db, trained_model, config)
+    return ViewIndex(views, db=mutagen_db), views
+
+
+class TestViewIndex:
+    def test_labels_and_patterns(self, indexed_views):
+        index, views = indexed_views
+        assert sorted(index.labels()) == [0, 1]
+        for label in index.labels():
+            assert index.patterns_for_label(label) == views[label].patterns
+            assert len(index.subgraphs_for_label(label)) == len(
+                views[label].subgraphs
+            )
+
+    def test_toxicophore_query(self, indexed_views, mutagen_db):
+        """The paper's 'which toxicophores occur in mutagens?' query."""
+        index, _ = indexed_views
+        no_bond = Pattern.from_parts([N, O], [(0, 1)])
+        hits = index.explanations_containing(no_bond, label=1)
+        assert hits, "N-O bond should occur in mutagen explanations"
+        assert all(h.label == 1 and h.in_explanation for h in hits)
+        # and not in non-mutagen explanations
+        assert index.explanations_containing(no_bond, label=0) == []
+
+    def test_graphs_containing_searches_full_graphs(self, indexed_views):
+        index, _ = indexed_views
+        motif = Pattern(nitro_motif())
+        occurrences = index.graphs_containing(motif)
+        assert occurrences
+        # the planted motif only exists in label-1 graphs
+        assert all(o.label == 1 for o in occurrences)
+        assert all(not o.in_explanation for o in occurrences)
+
+    def test_graphs_containing_requires_db(self, indexed_views):
+        _, views = indexed_views
+        bare = ViewIndex(views)
+        with pytest.raises(ValueError):
+            bare.graphs_containing(Pattern.singleton(C))
+
+    def test_discriminative_patterns(self, indexed_views):
+        index, _ = indexed_views
+        disc = index.discriminative_patterns(1, 0)
+        # some mutagen pattern must be absent from non-mutagen explanations
+        assert disc
+        for p in disc:
+            assert index.explanations_containing(p, label=0) == []
+
+    def test_pattern_statistics(self, indexed_views):
+        index, _ = indexed_views
+        stats = index.pattern_statistics(Pattern.singleton(C))
+        assert set(stats) == {0, 1}
+        assert all(v >= 0 for v in stats.values())
+
+    def test_labels_with_pattern(self, indexed_views):
+        index, views = indexed_views
+        some_pattern = views[1].patterns[0]
+        assert 1 in index.labels_with_pattern(some_pattern)
+
+
+def _community_task(seed=0):
+    """Two-block SBM node classification with informative features."""
+    rng = np.random.default_rng(seed)
+    g, blocks = stochastic_block_model([12, 12], 0.5, 0.05, seed=seed)
+    X = rng.normal(0, 0.4, size=(g.n_nodes, 4))
+    X[np.arange(g.n_nodes), blocks] += 1.5
+    gg = Graph(g.node_types, features=X)
+    for u, v, t in g.edges():
+        gg.add_edge(u, v, t)
+    return gg, blocks
+
+
+class TestNodeClassifier:
+    def test_learns_communities(self):
+        graph, blocks = _community_task(0)
+        model = NodeGnnClassifier(4, 2, hidden_dims=(16, 16), seed=0)
+        model.fit(graph, blocks, epochs=150)
+        assert model.accuracy(graph, blocks) >= 0.9
+
+    def test_masked_training(self):
+        graph, blocks = _community_task(1)
+        mask = np.zeros(graph.n_nodes, dtype=bool)
+        mask[::2] = True
+        model = NodeGnnClassifier(4, 2, hidden_dims=(16, 16), seed=0)
+        model.fit(graph, blocks, mask=mask, epochs=150)
+        # transductive generalization to held-out nodes
+        assert model.accuracy(graph, blocks, ~mask) >= 0.8
+
+    def test_label_shape_checked(self):
+        graph, _ = _community_task(2)
+        model = NodeGnnClassifier(4, 2)
+        with pytest.raises(Exception):
+            model.loss_and_grads(graph, [0, 1])
+
+    def test_gradients_match_numeric(self):
+        graph, blocks = _community_task(3)
+        model = NodeGnnClassifier(4, 2, hidden_dims=(5,), seed=1)
+        _, grads = model.loss_and_grads(graph, blocks)
+        eps = 1e-5
+        # spot-check a handful of parameter entries
+        rng = np.random.default_rng(0)
+        for p, g in zip(model.parameters(), grads):
+            flat = p.reshape(-1)
+            gflat = g.reshape(-1)
+            for _ in range(3):
+                j = int(rng.integers(0, flat.size))
+                orig = flat[j]
+                flat[j] = orig + eps
+                lp, _ = model.loss_and_grads(graph, blocks)
+                flat[j] = orig - eps
+                lm, _ = model.loss_and_grads(graph, blocks)
+                flat[j] = orig
+                assert gflat[j] == pytest.approx((lp - lm) / (2 * eps), abs=1e-4)
+
+
+class TestNodeExplanation:
+    @pytest.fixture(scope="class")
+    def node_setup(self):
+        graph, blocks = _community_task(5)
+        model = NodeGnnClassifier(4, 2, hidden_dims=(16, 16), seed=0)
+        model.fit(graph, blocks, epochs=200)
+        assert model.accuracy(graph, blocks) >= 0.9
+        return graph, blocks, model
+
+    def test_adapter_predicts_center(self, node_setup):
+        graph, blocks, model = node_setup
+        adapter = CenterGraphClassifier(model)
+        # marked ego graph of node 0
+        from repro.core.node_explain import explain_node as _  # noqa: F401
+
+        ego_nodes = sorted(graph.k_hop_nodes(0, model.n_layers))
+        ego, ids = graph.induced_subgraph(ego_nodes)
+        X = model.features_for(graph)[ids]
+        marker = np.zeros((len(ids), 1))
+        marker[ids.index(0), 0] = 1.0
+        marked = Graph(ego.node_types, features=np.hstack([X, marker]))
+        for u, v, t in ego.edges():
+            marked.add_edge(u, v, t)
+        assert adapter.predict(marked) == model.predict_nodes(graph)[0]
+
+    def test_adapter_no_center_is_none(self, node_setup):
+        graph, _, model = node_setup
+        adapter = CenterGraphClassifier(model)
+        X = model.features_for(graph)
+        unmarked = Graph(
+            graph.node_types, features=np.hstack([X, np.zeros((graph.n_nodes, 1))])
+        )
+        assert adapter.predict(unmarked) is None
+        assert np.allclose(adapter.predict_proba(unmarked), 0.5)
+
+    def test_explain_node_contains_center(self, node_setup):
+        graph, blocks, model = node_setup
+        config = GvexConfig(theta=0.05, radius=0.4).with_bounds(0, 6)
+        expl = explain_node(model, graph, node=3, config=config)
+        assert 3 in expl.context_nodes
+        assert expl.label == model.predict_nodes(graph)[3]
+        assert 1 <= len(expl.context_nodes) <= 6
+
+    def test_explain_node_context_is_local(self, node_setup):
+        graph, blocks, model = node_setup
+        config = GvexConfig(theta=0.05, radius=0.4).with_bounds(0, 5)
+        expl = explain_node(model, graph, node=7, config=config)
+        hood = graph.k_hop_nodes(7, model.n_layers)
+        assert set(expl.context_nodes) <= hood
+
+    def test_explain_node_mostly_consistent(self, node_setup):
+        graph, blocks, model = node_setup
+        config = GvexConfig(theta=0.05, radius=0.4).with_bounds(0, 6)
+        consistent = 0
+        for node in range(0, 10):
+            expl = explain_node(model, graph, node, config=config)
+            consistent += expl.consistent
+        assert consistent >= 7
+
+    def test_bad_node_rejected(self, node_setup):
+        graph, _, model = node_setup
+        with pytest.raises(ExplanationError):
+            explain_node(model, graph, node=999)
+
+    def test_isolated_node(self):
+        model = NodeGnnClassifier(4, 2, hidden_dims=(8,), seed=0)
+        graph = Graph([0, 0], features=np.random.default_rng(0).normal(size=(2, 4)))
+        expl = explain_node(model, graph, node=0)
+        assert expl.context_nodes == (0,)

@@ -1,0 +1,121 @@
+"""Tests for the visualization module."""
+
+import pytest
+
+from repro.graphs.graph import graph_from_edges
+from repro.graphs.pattern import Pattern
+from repro.graphs.view import ExplanationSubgraph, ExplanationView, ViewSet
+from repro.viz import (
+    ascii_graph,
+    ascii_pattern,
+    subgraph_report,
+    to_dot,
+    view_report,
+    view_to_dot,
+    viewset_report,
+)
+
+
+@pytest.fixture
+def path3():
+    return graph_from_edges([0, 1, 2], [(0, 1), (1, 2)])
+
+
+class TestAscii:
+    def test_ascii_graph_lines(self, path3):
+        text = ascii_graph(path3)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0] == "0[a] -- 1"
+        assert "1[b] -- 0, 2" in text
+
+    def test_ascii_graph_custom_names(self, path3):
+        text = ascii_graph(path3, type_names={0: "C", 1: "N", 2: "O"})
+        assert "0[C]" in text and "1[N]" in text
+
+    def test_isolated_node(self):
+        g = graph_from_edges([0], [])
+        assert "(isolated)" in ascii_graph(g)
+
+    def test_directed_arrow(self):
+        g = graph_from_edges([0, 0], [(0, 1)], directed=True)
+        assert "->" in ascii_graph(g)
+
+    def test_high_type_id(self):
+        g = graph_from_edges([99], [])
+        assert "t99" in ascii_graph(g)
+
+    def test_ascii_pattern(self):
+        p = Pattern.from_parts([1, 2], [(0, 1)])
+        text = ascii_pattern(p, type_names={1: "N", 2: "O"})
+        assert text == "(N,O) [0-1]"
+
+    def test_ascii_pattern_singleton(self):
+        assert ascii_pattern(Pattern.singleton(0)) == "(a)"
+
+
+class TestDot:
+    def test_to_dot_undirected(self, path3):
+        dot = to_dot(path3)
+        assert dot.startswith("graph G {")
+        assert "n0 -- n1;" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_to_dot_directed_and_edge_labels(self):
+        g = graph_from_edges([0, 1], [(0, 1)], directed=True, edge_type=2)
+        dot = to_dot(g)
+        assert "digraph" in dot
+        assert 'n0 -> n1 [label="2"];' in dot
+
+    def test_to_dot_highlight(self, path3):
+        dot = to_dot(path3, highlight=[1])
+        assert dot.count("fillcolor") == 1
+
+    def test_view_to_dot_clusters(self):
+        view = ExplanationView(label=1)
+        view.patterns = [Pattern.singleton(0), Pattern.from_parts([1, 1], [(0, 1)])]
+        dot = view_to_dot(view)
+        assert "cluster_p0" in dot and "cluster_p1" in dot
+        assert "p1_0 -- p1_1;" in dot
+
+
+class TestReports:
+    def _view(self, path3):
+        sub, _ = path3.induced_subgraph([0, 1])
+        view = ExplanationView(label="mutagen", score=1.5, edge_loss=0.1)
+        view.subgraphs.append(
+            ExplanationSubgraph(0, (0, 1), sub, consistent=True, counterfactual=False)
+        )
+        view.patterns.append(Pattern.from_parts([0, 1], [(0, 1)]))
+        return view
+
+    def test_subgraph_report_flags(self, path3):
+        view = self._view(path3)
+        text = subgraph_report(view.subgraphs[0])
+        assert "consistent" in text
+        assert "NOT counterfactual" in text
+        assert "graph #0" in text
+
+    def test_view_report_sections(self, path3):
+        text = view_report(self._view(path3))
+        assert "Explanation view for label 'mutagen'" in text
+        assert "Higher tier" in text and "Lower tier" in text
+        assert "P0:" in text
+        assert "edge loss = 10.0%" in text
+
+    def test_view_report_truncates(self, path3):
+        view = self._view(path3)
+        sub = view.subgraphs[0]
+        view.subgraphs = [sub] * 10
+        text = view_report(view, max_subgraphs=2)
+        assert "first 2" in text
+
+    def test_viewset_report_separators(self, path3):
+        vs = ViewSet()
+        vs.add(self._view(path3))
+        other = self._view(path3)
+        other.label = "other"
+        vs.add(other)
+        text = viewset_report(vs)
+        assert text.count("=" * 60) == 1
+        assert "mutagen" in text and "other" in text

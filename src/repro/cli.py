@@ -19,7 +19,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from repro.config import GvexConfig
+from repro.config import BACKEND_BATCHED, VERIFIER_BACKENDS, GvexConfig
 from repro.core.approx import ApproxGvex
 from repro.core.streaming import StreamGvex
 from repro.datasets.registry import DATASETS, dataset_info, load_dataset
@@ -62,6 +62,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_explain.add_argument("--gamma", type=float, default=0.5)
     p_explain.add_argument("--lower", type=int, default=0)
     p_explain.add_argument("--upper", type=int, default=6)
+    p_explain.add_argument(
+        "--backend",
+        choices=list(VERIFIER_BACKENDS),
+        default=BACKEND_BATCHED,
+        help="EVerify scheduling: batched (default) or the serial reference; "
+        "both produce identical views (see docs/verification.md)",
+    )
     p_explain.add_argument(
         "--labels", type=int, nargs="*", help="labels of interest (default: all)"
     )
@@ -155,7 +162,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         else:
             model = _train(args)
         config = GvexConfig(
-            theta=args.theta, radius=args.radius, gamma=args.gamma
+            theta=args.theta,
+            radius=args.radius,
+            gamma=args.gamma,
+            verifier_backend=args.backend,
         ).with_bounds(args.lower, args.upper)
         labels = args.labels if args.labels else None
         if args.method == "approx":

@@ -40,6 +40,14 @@ JACOBIAN_EXPECTED = "expected"
 
 JACOBIAN_MODES = (JACOBIAN_EXACT, JACOBIAN_EXPECTED)
 
+#: Reference ``EVerify``: one dense forward per memo-cache miss.
+BACKEND_SERIAL = "serial"
+#: Frontier-at-a-time ``EVerify``: cache misses are filled in bulk with
+#: stacked forward passes (default; decision-identical to serial).
+BACKEND_BATCHED = "batched"
+
+VERIFIER_BACKENDS = (BACKEND_SERIAL, BACKEND_BATCHED)
+
 
 @dataclass(frozen=True)
 class CoverageConstraint:
@@ -87,6 +95,12 @@ class GvexConfig:
         Constraint applied to labels not listed in ``coverage``.
     verification:
         One of :data:`VERIFICATION_MODES`; see DESIGN.md §3.
+    verifier_backend:
+        One of :data:`VERIFIER_BACKENDS` — how ``EVerify`` schedules
+        GNN inference. ``"batched"`` fills the memo cache one candidate
+        frontier at a time with stacked forward passes; ``"serial"`` is
+        the one-subset-per-forward reference. Both backends return
+        bit-identical probabilities, so selections never differ.
     jacobian:
         One of :data:`JACOBIAN_MODES` for feature-influence computation.
     max_pattern_size:
@@ -103,6 +117,9 @@ class GvexConfig:
     coverage: Mapping[Hashable, CoverageConstraint] = field(default_factory=dict)
     default_coverage: CoverageConstraint = CoverageConstraint(0, 15)
     verification: str = VERIFY_SOFT
+    #: EVerify backend: ``"batched"`` (default) or the ``"serial"``
+    #: reference implementation (see docs/verification.md)
+    verifier_backend: str = BACKEND_BATCHED
     jacobian: str = JACOBIAN_EXPECTED
     max_pattern_size: int = 5
     min_pattern_support: int = 1
@@ -123,6 +140,11 @@ class GvexConfig:
             raise ConfigurationError(
                 f"verification must be one of {VERIFICATION_MODES}, "
                 f"got {self.verification!r}"
+            )
+        if self.verifier_backend not in VERIFIER_BACKENDS:
+            raise ConfigurationError(
+                f"verifier_backend must be one of {VERIFIER_BACKENDS}, "
+                f"got {self.verifier_backend!r}"
             )
         if self.jacobian not in JACOBIAN_MODES:
             raise ConfigurationError(
@@ -178,6 +200,9 @@ __all__ = [
     "JACOBIAN_EXACT",
     "JACOBIAN_EXPECTED",
     "JACOBIAN_MODES",
+    "BACKEND_SERIAL",
+    "BACKEND_BATCHED",
+    "VERIFIER_BACKENDS",
     "SCOPE_PER_GRAPH",
     "SCOPE_PER_GROUP",
     "COVERAGE_SCOPES",

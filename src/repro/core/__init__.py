@@ -11,7 +11,16 @@ from repro.core.node_explain import NodeExplanation, explain_node
 from repro.core.parallel import explain_database_parallel
 from repro.core.psum import PsumResult, summarize
 from repro.core.streaming import AnytimeSnapshot, StreamGvex, StreamResult
-from repro.core.verifiers import GnnVerifier, ViewVerification, verify_view, vp_extend
+from repro.core.verifiers import (
+    BatchedGnnVerifier,
+    GnnVerifier,
+    ViewVerification,
+    make_verifier,
+    uniform_prior,
+    verify_view,
+    vp_extend,
+    vp_extend_frontier,
+)
 
 __all__ = [
     "ApproxGvex",
@@ -31,7 +40,11 @@ __all__ = [
     "summarize",
     "PsumResult",
     "GnnVerifier",
+    "BatchedGnnVerifier",
+    "make_verifier",
+    "uniform_prior",
     "vp_extend",
+    "vp_extend_frontier",
     "verify_view",
     "ViewVerification",
 ]

@@ -25,7 +25,11 @@ from repro.config import (
 )
 from repro.core.explainability import ExplainabilityOracle, SelectionState
 from repro.core.psum import summarize
-from repro.core.verifiers import GnnVerifier, vp_extend
+from repro.core.verifiers import (
+    GnnVerifier,
+    make_verifier,
+    vp_extend_frontier,
+)
 from repro.gnn.model import GnnClassifier
 from repro.graphs.database import GraphDatabase
 from repro.graphs.graph import Graph
@@ -70,7 +74,7 @@ def explain_graph(
 
     if oracle is None:
         oracle = ExplainabilityOracle(model, graph, config)
-    verifier = GnnVerifier(model, graph)
+    verifier = make_verifier(model, graph, config)
     state = oracle.new_state()
     for v in seed_nodes:
         if len(state.selected) < upper:
@@ -83,13 +87,12 @@ def explain_graph(
     else:
         _grow_lazy(graph, verifier, oracle, state, backup, label, lower, upper, mode)
 
-    # lower-bound phase: keep growing from the backup pool (lines 10-15)
+    # lower-bound phase: keep growing from the backup pool (lines 10-15),
+    # verifying the whole pool as one frontier per round
     while len(state.selected) < lower and backup:
-        feasible = [
-            v
-            for v in backup
-            if vp_extend(v, frozenset(state.selected), verifier, label, upper, mode)
-        ]
+        feasible = vp_extend_frontier(
+            sorted(backup), frozenset(state.selected), verifier, label, upper, mode
+        )
         if not feasible:
             break
         v_star = oracle.best_candidate(state, feasible)
@@ -192,6 +195,11 @@ def _grow_lazy(
         if not soft:
             chosen = popped[0][1]
         else:
+            # the whole frontier's subset probas are needed below — fill
+            # the verifier cache with one stacked pass per round
+            verifier.prefetch_subsets(
+                [state.selected | {v} for v in pool]
+            )
             conf = {}
             for v in pool:
                 p = verifier.subset_probability(state.selected | {v}, label)
@@ -219,6 +227,9 @@ def _grow_lazy(
                 )
             else:
                 top = [v for v in pool if conf[v] >= tau - 1e-9]
+                verifier.prefetch_remainders(
+                    [state.selected | {v} for v in top]
+                )
                 novelty = (
                     _pattern_novelty(
                         graph, state.selected, {v: pool[v] for v in top}
@@ -296,17 +307,18 @@ def _grow_paper_mode(
     lower: int,
     upper: int,
 ) -> None:
-    """Literal Algorithm 1 loop: re-verify every candidate each round."""
+    """Literal Algorithm 1 loop: re-verify every candidate each round.
+
+    Each round verifies the entire remaining-node frontier in one
+    ``vp_extend_frontier`` call — two stacked forward passes under the
+    batched backend instead of two per candidate.
+    """
     while len(state.selected) < upper:
-        feasible: List[int] = []
-        for v in graph.nodes():
-            if v in state.selected:
-                continue
-            if vp_extend(
-                v, frozenset(state.selected), verifier, label, upper, VERIFY_PAPER
-            ):
-                feasible.append(v)
-                backup.add(v)
+        candidates = [v for v in graph.nodes() if v not in state.selected]
+        feasible = vp_extend_frontier(
+            candidates, frozenset(state.selected), verifier, label, upper, VERIFY_PAPER
+        )
+        backup.update(feasible)
         if not feasible:
             break
         v_star = oracle.best_candidate(state, feasible)

@@ -96,6 +96,63 @@ class CenterGraphClassifier:
         Q = self.aggregation_matrix(graph)
         return self.node_model.forward(X, Q)[1][-1]
 
+    def predict_proba_batch(
+        self,
+        graph: Graph,
+        node_subsets: List[List[int]],
+        cache: Optional[dict] = None,
+    ) -> np.ndarray:
+        """Batched ``predict_proba`` over node-induced subgraphs.
+
+        Lets ``BatchedGnnVerifier`` serve node-explanation frontiers
+        with stacked passes. Rows match the serial path bit-for-bit:
+        subsets lacking the center marker (or empty) get the uniform
+        prior, others the center row of the stacked node-model forward.
+        """
+        from repro.gnn.batch import (
+            batched_aggregation,
+            batched_subset_probas,
+            stacked_layers,
+        )
+
+        def features() -> np.ndarray:
+            X_full = graph.feature_matrix(n_types=self.in_dim)
+            if X_full.shape[1] != self.in_dim:
+                raise ModelError(
+                    f"expected {self.in_dim} feature columns "
+                    f"(incl. center marker), got {X_full.shape[1]}"
+                )
+            return X_full
+
+        def forward_group(X_b: np.ndarray, A_b: np.ndarray) -> np.ndarray:
+            markers = X_b[:, :, -1] > 0.5
+            has_center = markers.any(axis=1)
+            centers = markers.argmax(axis=1)  # first marked node per row
+            # NodeGnnClassifier is GCN-only (its aggregation_matrix is
+            # normalized_adjacency unconditionally); revisit if it ever
+            # grows the conv options of its graph-level sibling
+            Q_b = batched_aggregation("gcn", 0.0, A_b)
+            H = stacked_layers(
+                X_b[:, :, :-1],
+                Q_b,
+                self.node_model.weights,
+                self.node_model.biases,
+                self.node_model._act,
+            )
+            logits = H @ self.node_model.head_weight + self.node_model.head_bias
+            out = np.empty((X_b.shape[0], self.n_classes), dtype=np.float64)
+            for j in range(X_b.shape[0]):
+                out[j] = (
+                    softmax(logits[j, centers[j]])
+                    if has_center[j]
+                    else 1.0 / self.n_classes
+                )
+            return out
+
+        return batched_subset_probas(
+            graph, node_subsets, self.n_classes, features, forward_group, cache
+        )
+
 
 @dataclass
 class NodeExplanation:

@@ -33,7 +33,9 @@ def _init_worker(model: GnnClassifier, config: GvexConfig, db: GraphDatabase) ->
     _WORKER_DB = db
 
 
-def _explain_one(task: Tuple[int, int]) -> Tuple[int, int, Optional[ExplanationSubgraph]]:
+def _explain_one(
+    task: Tuple[int, int]
+) -> Tuple[int, int, Optional[ExplanationSubgraph], int]:
     index, label = task
     assert _WORKER_MODEL is not None and _WORKER_CONFIG is not None
     assert _WORKER_DB is not None
@@ -44,7 +46,13 @@ def _explain_one(task: Tuple[int, int]) -> Tuple[int, int, Optional[ExplanationS
         _WORKER_CONFIG,
         graph_index=index,
     )
-    return index, label, result.subgraph
+    return index, label, result.subgraph, result.inference_calls
+
+
+def _with_stats(views: ViewSet, inference_calls: int, return_stats: bool):
+    if not return_stats:
+        return views
+    return views, {"inference_calls": inference_calls}
 
 
 def explain_database_parallel(
@@ -54,12 +62,17 @@ def explain_database_parallel(
     labels: Optional[Iterable[int]] = None,
     processes: int = 2,
     predicted: Optional[Sequence[Optional[int]]] = None,
-) -> ViewSet:
+    return_stats: bool = False,
+):
     """Parallel ApproxGVEX over a database (per-graph coverage scope).
 
     Semantically identical to :meth:`ApproxGvex.explain`; only the
     explanation phase is distributed — the Psum summarize step runs in
-    the parent (it needs the whole label group's subgraphs).
+    the parent (it needs the whole label group's subgraphs). Workers
+    honor ``config.verifier_backend``, so the batched engine composes
+    with multiprocessing. With ``return_stats`` the result is a
+    ``(views, stats)`` pair where ``stats["inference_calls"]`` sums the
+    workers' forward-pass launches.
     """
     config = config if config is not None else GvexConfig()
     if predicted is None:
@@ -72,20 +85,27 @@ def explain_database_parallel(
         groups.setdefault(int(l), []).append(i)
     wanted = sorted(groups) if labels is None else sorted(set(labels))
 
+    def serial_fallback():
+        algo = ApproxGvex(model, config, labels=wanted)
+        views = algo.explain(db, predicted)
+        return _with_stats(views, algo.total_inference_calls, return_stats)
+
     if processes <= 1:
-        return ApproxGvex(model, config, labels=wanted).explain(db, predicted)
+        return serial_fallback()
 
     tasks = [(i, label) for label in wanted for i in groups.get(label, [])]
     try:
         ctx = mp.get_context("fork")
     except ValueError:  # pragma: no cover - non-fork platforms
-        return ApproxGvex(model, config, labels=wanted).explain(db, predicted)
+        return serial_fallback()
 
+    total_calls = 0
     subgraphs: Dict[int, List[ExplanationSubgraph]] = {l: [] for l in wanted}
     with ctx.Pool(
         processes=processes, initializer=_init_worker, initargs=(model, config, db)
     ) as pool:
-        for index, label, subgraph in pool.map(_explain_one, tasks):
+        for index, label, subgraph, calls in pool.map(_explain_one, tasks):
+            total_calls += calls
             if subgraph is not None:
                 subgraphs[label].append(subgraph)
 
@@ -98,7 +118,7 @@ def explain_database_parallel(
         view.edge_loss = psum.edge_loss
         view.score = sum(s.score for s in subs)
         views.add(view)
-    return views
+    return _with_stats(views, total_calls, return_stats)
 
 
 __all__ = ["explain_database_parallel"]

@@ -31,7 +31,7 @@ import numpy as np
 from repro.config import GvexConfig, VERIFY_PAPER
 from repro.core.explainability import ExplainabilityOracle, SelectionState
 from repro.core.psum import summarize
-from repro.core.verifiers import GnnVerifier, vp_extend
+from repro.core.verifiers import GnnVerifier, make_verifier, vp_extend
 from repro.gnn.model import GnnClassifier
 from repro.graphs.database import GraphDatabase
 from repro.graphs.graph import Graph
@@ -108,7 +108,7 @@ class StreamGvex:
         start = time.perf_counter()
         config = self.config
         batch = config.stream_batch_size
-        verifier = GnnVerifier(self.model, graph)
+        verifier = make_verifier(self.model, graph, config)
         mode = config.verification
 
         seen: List[int] = []
@@ -129,6 +129,17 @@ class StreamGvex:
             oracle = ExplainabilityOracle(self.model, seen_sub, config)
             state = oracle.state_for([to_local[v] for v in selected])
 
+            if mode == VERIFY_PAPER and verifier.is_batched:
+                # speculative frontier fill for the arriving chunk: the
+                # selected set rarely changes mid-chunk once the cache
+                # is warm, so most per-node vp_extend probes hit. Only
+                # the batched backend prefetches — the serial reference
+                # must keep its lazy one-forward-per-probe schedule.
+                ext = [
+                    frozenset(selected | {v}) for v in chunk if v not in selected
+                ]
+                verifier.prefetch_subsets(ext)
+                verifier.prefetch_remainders(ext)
             for v in chunk:
                 backup.add(v)
                 if mode == VERIFY_PAPER and not vp_extend(
@@ -183,6 +194,9 @@ class StreamGvex:
             pool = sorted(set(graph.nodes()) - selected)
             if not pool:
                 break
+            # every pool extension is probed by the argmax below — fill
+            # the cache with one stacked pass per repair round
+            verifier.prefetch_subsets([selected | {v} for v in pool])
             best = max(
                 pool,
                 key=lambda v: (

@@ -17,15 +17,45 @@ from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.config import GvexConfig, VERIFY_NONE, VERIFY_PAPER, VERIFY_SOFT
+from repro.config import (
+    BACKEND_SERIAL,
+    GvexConfig,
+    VERIFY_NONE,
+    VERIFY_PAPER,
+    VERIFY_SOFT,
+)
 from repro.gnn.model import GnnClassifier
 from repro.graphs.graph import Graph
 from repro.graphs.view import ExplanationView
 from repro.matching.coverage import CoverageIndex
 
 
+def uniform_prior(n_classes: int) -> np.ndarray:
+    """``M(∅)`` — the uniform class prior used for degenerate queries.
+
+    Shared by the empty-subset and empty-remainder fallbacks so both
+    code paths (and :meth:`GnnClassifier.predict_proba` on the empty
+    graph) agree on the same distribution.
+    """
+    n = int(n_classes)
+    if n < 1:
+        raise ValueError(f"n_classes must be >= 1, got {n_classes}")
+    return np.full(n, 1.0 / n)
+
+
 class GnnVerifier:
-    """Cached GNN inference on node subsets of one graph (``EVerify``)."""
+    """Cached GNN inference on node subsets of one graph (``EVerify``).
+
+    ``inference_calls`` counts forward-pass launches (one per memo-cache
+    miss for this serial reference backend); ``subsets_evaluated``
+    counts the node subsets those launches covered. For the serial
+    backend the two are equal — :class:`BatchedGnnVerifier` launches
+    one stacked pass per frontier, so its ``inference_calls`` is much
+    smaller for the same ``subsets_evaluated``.
+    """
+
+    #: whether prefetches are filled with stacked batch passes
+    is_batched = False
 
     def __init__(self, model: GnnClassifier, graph: Graph) -> None:
         self.model = model
@@ -34,12 +64,14 @@ class GnnVerifier:
         self._subset_probas: Dict[FrozenSet[int], np.ndarray] = {}
         self._remainder_probas: Dict[FrozenSet[int], np.ndarray] = {}
         self.inference_calls = 0
+        self.subsets_evaluated = 0
 
     # ------------------------------------------------------------------
     def _subset_proba(self, key: FrozenSet[int]) -> np.ndarray:
         if key not in self._subset_probas:
             sub, _ = self.graph.induced_subgraph(key)
             self.inference_calls += 1
+            self.subsets_evaluated += 1
             self._subset_probas[key] = self.model.predict_proba(sub)
         return self._subset_probas[key]
 
@@ -47,8 +79,60 @@ class GnnVerifier:
         if key not in self._remainder_probas:
             rest, _ = self.graph.remove_nodes(key)
             self.inference_calls += 1
+            self.subsets_evaluated += 1
             self._remainder_probas[key] = self.model.predict_proba(rest)
         return self._remainder_probas[key]
+
+    # ------------------------------------------------------------------
+    # frontier prefetch API (no-op batching in the serial reference:
+    # each miss still costs one forward, exactly as a lazy query would)
+    # ------------------------------------------------------------------
+    def _normalize_keys(
+        self, keys: Iterable[Iterable[int]]
+    ) -> "list[FrozenSet[int]]":
+        seen = {}
+        for key in keys:
+            fs = frozenset(int(v) for v in key)
+            if fs not in seen:
+                seen[fs] = None
+        return list(seen)
+
+    def _subset_misses(
+        self, keys: Iterable[Iterable[int]]
+    ) -> "list[FrozenSet[int]]":
+        """Uncached, non-degenerate subset keys. The empty set is
+        degenerate: queries answer it from :func:`uniform_prior`."""
+        return [
+            key
+            for key in self._normalize_keys(keys)
+            if key and key not in self._subset_probas
+        ]
+
+    def _remainder_misses(
+        self, keys: Iterable[Iterable[int]]
+    ) -> "list[FrozenSet[int]]":
+        """Uncached remainder keys with a non-empty remainder. Keys
+        covering the whole graph fall back to :func:`uniform_prior`."""
+        return [
+            key
+            for key in self._normalize_keys(keys)
+            if len(key) < self.graph.n_nodes
+            and key not in self._remainder_probas
+        ]
+
+    def prefetch_subsets(self, keys: Iterable[Iterable[int]]) -> int:
+        """Ensure ``P(M(G_s))`` is cached for every key; returns #misses."""
+        misses = self._subset_misses(keys)
+        for key in misses:
+            self._subset_proba(key)
+        return len(misses)
+
+    def prefetch_remainders(self, keys: Iterable[Iterable[int]]) -> int:
+        """Ensure ``P(M(G \\ G_s))`` is cached; returns #misses."""
+        misses = self._remainder_misses(keys)
+        for key in misses:
+            self._remainder_proba(key)
+        return len(misses)
 
     def label_of_nodes(self, nodes: Iterable[int]) -> Optional[int]:
         """``M(G_s)`` for the node-induced subgraph on ``nodes``."""
@@ -65,17 +149,24 @@ class GnnVerifier:
         return int(np.argmax(self._remainder_proba(key)))
 
     def subset_probability(self, nodes: Iterable[int], label: int) -> float:
-        """``P(M(G_s) = label)`` — drives consistency hill-climbing."""
+        """``P(M(G_s) = label)`` — drives consistency hill-climbing.
+
+        The empty subset is ``M(∅)``: a uniform prior, no inference.
+        """
         key = frozenset(int(v) for v in nodes)
         if not key:
-            return 1.0 / self.model.n_classes
+            return float(uniform_prior(self.model.n_classes)[label])
         return float(self._subset_proba(key)[label])
 
     def remainder_probability(self, nodes: Iterable[int], label: int) -> float:
-        """``P(M(G \\ G_s) = label)`` — drives counterfactual steering."""
+        """``P(M(G \\ G_s) = label)`` — drives counterfactual steering.
+
+        When ``nodes`` covers the whole graph the remainder is empty
+        (``M(∅)``): a uniform prior, no inference.
+        """
         key = frozenset(int(v) for v in nodes)
         if len(key) >= self.graph.n_nodes:
-            return 1.0 / self.model.n_classes
+            return float(uniform_prior(self.model.n_classes)[label])
         return float(self._remainder_proba(key)[label])
 
     def check(self, nodes: Iterable[int], label: int) -> Tuple[bool, bool]:
@@ -86,6 +177,105 @@ class GnnVerifier:
         consistent = self.label_of_nodes(key) == label
         counterfactual = self.label_of_remainder(key) != label
         return consistent, counterfactual
+
+
+class BatchedGnnVerifier(GnnVerifier):
+    """``EVerify`` with frontier-at-a-time cache fills.
+
+    Same memoization semantics and bit-identical probabilities as the
+    serial :class:`GnnVerifier` — only the schedule differs: prefetches
+    evaluate every cache miss in one stacked forward pass
+    (:meth:`GnnClassifier.predict_proba_batch`), so ``inference_calls``
+    counts one launch per frontier instead of one per subset. Lazy
+    misses outside a prefetch fall back to the inherited serial path.
+
+    Models without a ``predict_proba_batch`` method degrade gracefully
+    to the serial schedule.
+    """
+
+    is_batched = True
+
+    #: peak-memory cap: one stacked launch materializes ``(B, k, k)``
+    #: tensors, so the frontier is split into launches of at most
+    #: ``BATCH_ELEMENT_BUDGET / k^2`` subsets (≈128 MB of float64 at
+    #: the cap). Chunking changes scheduling only, never values.
+    BATCH_ELEMENT_BUDGET = 16_000_000
+
+    def __init__(self, model: GnnClassifier, graph: Graph) -> None:
+        super().__init__(model, graph)
+        self._can_batch = hasattr(model, "predict_proba_batch")
+        #: dense gather sources (features / symmetrized adjacency) are
+        #: immutable per graph; reusing them across launches avoids an
+        #: O(n²) rebuild every prefetch
+        self._gather_cache: dict = {}
+        if self._can_batch:
+            import inspect
+
+            params = inspect.signature(model.predict_proba_batch).parameters
+            self._pass_cache = "cache" in params
+
+    def _launch(self, subsets: "list[list[int]]") -> "list[np.ndarray]":
+        """Stacked forwards over ``subsets``, chunked to the memory cap."""
+        rows: "list[np.ndarray]" = []
+        start = 0
+        while start < len(subsets):
+            widest = max(
+                (len(s) for s in subsets[start:]), default=1
+            )
+            chunk = max(1, self.BATCH_ELEMENT_BUDGET // max(1, widest * widest))
+            batch = subsets[start : start + chunk]
+            if self._pass_cache:
+                probas = self.model.predict_proba_batch(
+                    self.graph, batch, cache=self._gather_cache
+                )
+            else:
+                probas = self.model.predict_proba_batch(self.graph, batch)
+            rows.extend(probas)
+            self.inference_calls += 1
+            self.subsets_evaluated += len(batch)
+            start += chunk
+        return rows
+
+    def prefetch_subsets(self, keys: Iterable[Iterable[int]]) -> int:
+        misses = self._subset_misses(keys)
+        if not misses:
+            return 0
+        if not self._can_batch:
+            for key in misses:
+                self._subset_proba(key)
+            return len(misses)
+        rows = self._launch([sorted(key) for key in misses])
+        for key, row in zip(misses, rows):
+            self._subset_probas[key] = row
+        return len(misses)
+
+    def prefetch_remainders(self, keys: Iterable[Iterable[int]]) -> int:
+        misses = self._remainder_misses(keys)
+        if not misses:
+            return 0
+        if not self._can_batch:
+            for key in misses:
+                self._remainder_proba(key)
+            return len(misses)
+        all_nodes = range(self.graph.n_nodes)
+        rows = self._launch(
+            [[v for v in all_nodes if v not in key] for key in misses]
+        )
+        for key, row in zip(misses, rows):
+            self._remainder_probas[key] = row
+        return len(misses)
+
+
+def make_verifier(
+    model: GnnClassifier, graph: Graph, config: Optional[GvexConfig] = None
+) -> GnnVerifier:
+    """``EVerify`` instance for ``config.verifier_backend``.
+
+    Defaults to the batched backend when no config is given.
+    """
+    if config is not None and config.verifier_backend == BACKEND_SERIAL:
+        return GnnVerifier(model, graph)
+    return BatchedGnnVerifier(model, graph)
 
 
 def vp_extend(
@@ -115,6 +305,37 @@ def vp_extend(
         consistent, counterfactual = verifier.check(selected | {v}, label)
         return consistent and counterfactual
     raise ValueError(f"unknown verification mode {mode!r}")
+
+
+def vp_extend_frontier(
+    candidates: Iterable[int],
+    selected: FrozenSet[int],
+    verifier: GnnVerifier,
+    label: int,
+    upper_bound: int,
+    mode: str = VERIFY_SOFT,
+) -> "list[int]":
+    """Procedure 2 over a whole candidate frontier.
+
+    Returns the candidates (in input order) whose extension passes
+    :func:`vp_extend`. In ``paper`` mode the consistency and
+    counterfactual probes for every extension are prefetched first —
+    with a batched verifier that is two stacked forward passes for the
+    entire frontier; with the serial reference it degenerates to the
+    per-candidate schedule. Decisions are identical either way.
+    """
+    cands = [int(v) for v in candidates]
+    if mode == VERIFY_PAPER:
+        keys = [
+            selected | {v}
+            for v in cands
+            if v not in selected and len(selected) + 1 <= upper_bound
+        ]
+        verifier.prefetch_subsets(keys)
+        verifier.prefetch_remainders(keys)
+    return [
+        v for v in cands if vp_extend(v, selected, verifier, label, upper_bound, mode)
+    ]
 
 
 @dataclass(frozen=True)
@@ -181,4 +402,13 @@ def verify_view(
     return ViewVerification(c1, c2, c3, total)
 
 
-__all__ = ["GnnVerifier", "vp_extend", "ViewVerification", "verify_view"]
+__all__ = [
+    "GnnVerifier",
+    "BatchedGnnVerifier",
+    "make_verifier",
+    "uniform_prior",
+    "vp_extend",
+    "vp_extend_frontier",
+    "ViewVerification",
+    "verify_view",
+]

@@ -1,0 +1,59 @@
+"""Bench smoke tests (``-m slow`` CI lane).
+
+Scaled-down versions of the Figure 9 efficiency claims that run inside
+the regular test harness: the batched verification backend must beat
+the serial reference on forward-pass launches on a real explain
+workload, end-to-end, without changing any output. The full sweeps
+live in ``benchmarks/``; this lane exists so CI notices a perf-contract
+regression without paying for the figure reproductions.
+"""
+
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.config import BACKEND_BATCHED, BACKEND_SERIAL, GvexConfig
+from repro.core.approx import ApproxGvex
+from repro.core.parallel import explain_database_parallel
+from tests.test_golden_views import view_set_fingerprint
+
+
+@pytest.mark.slow
+def test_batched_backend_fewer_calls_same_views(trained_model, mutagen_db):
+    config = GvexConfig(theta=0.08, radius=0.3, gamma=0.5).with_bounds(0, 6)
+    runs = {}
+    for backend in (BACKEND_SERIAL, BACKEND_BATCHED):
+        algo = ApproxGvex(
+            trained_model, replace(config, verifier_backend=backend)
+        )
+        start = time.perf_counter()
+        views = algo.explain(mutagen_db)
+        seconds = time.perf_counter() - start
+        runs[backend] = (views, algo.total_inference_calls, seconds)
+
+    serial_views, serial_calls, serial_s = runs[BACKEND_SERIAL]
+    batched_views, batched_calls, batched_s = runs[BACKEND_BATCHED]
+    # identical explanations...
+    assert view_set_fingerprint(batched_views) == view_set_fingerprint(serial_views)
+    # ...from strictly fewer forward-pass launches
+    assert batched_calls < serial_calls
+    # wall-clock is environment-noisy; just surface a gross regression
+    assert batched_s <= serial_s * 1.5, (batched_s, serial_s)
+
+
+@pytest.mark.slow
+def test_parallel_composes_with_batched_backend(trained_model, mutagen_db):
+    config = GvexConfig(theta=0.08, radius=0.3, gamma=0.5).with_bounds(0, 6)
+    serial_views = ApproxGvex(
+        trained_model, replace(config, verifier_backend=BACKEND_SERIAL)
+    ).explain(mutagen_db)
+    views, stats = explain_database_parallel(
+        mutagen_db,
+        trained_model,
+        replace(config, verifier_backend=BACKEND_BATCHED),
+        processes=2,
+        return_stats=True,
+    )
+    assert view_set_fingerprint(views) == view_set_fingerprint(serial_views)
+    assert stats["inference_calls"] > 0

@@ -4,7 +4,14 @@ import pytest
 
 from repro.config import GvexConfig, VERIFY_PAPER, VERIFY_SOFT
 from repro.core.psum import summarize
-from repro.core.verifiers import GnnVerifier, verify_view, vp_extend
+from repro.core.verifiers import (
+    BatchedGnnVerifier,
+    GnnVerifier,
+    uniform_prior,
+    verify_view,
+    vp_extend,
+    vp_extend_frontier,
+)
 from repro.graphs.generators import chain_graph, ring_graph
 from repro.graphs.graph import Graph, graph_from_edges
 from repro.graphs.pattern import Pattern
@@ -60,6 +67,89 @@ class TestGnnVerifier:
             flips += counterfactual
         assert checked > 0
         assert flips / checked >= 0.8
+
+
+class TestUniformPriorFallbacks:
+    """Empty-set / full-graph edge cases answer from the shared prior."""
+
+    @pytest.fixture(params=[GnnVerifier, BatchedGnnVerifier])
+    def verifier(self, request, trained_model, mutagen_db):
+        return request.param(trained_model, mutagen_db[0])
+
+    def test_uniform_prior_helper(self):
+        prior = uniform_prior(4)
+        assert prior.shape == (4,)
+        assert all(p == 0.25 for p in prior)
+        with pytest.raises(ValueError):
+            uniform_prior(0)
+
+    def test_empty_subset_probability(self, verifier):
+        expected = 1.0 / verifier.model.n_classes
+        for label in range(verifier.model.n_classes):
+            assert verifier.subset_probability([], label) == expected
+        assert verifier.inference_calls == 0  # no forward launched
+
+    def test_full_graph_remainder_probability(self, verifier):
+        n = verifier.graph.n_nodes
+        expected = 1.0 / verifier.model.n_classes
+        assert verifier.remainder_probability(range(n), 0) == expected
+        # superset keys (id multiplicity aside) behave the same
+        assert verifier.remainder_probability(list(range(n)) * 2, 1) == expected
+        assert verifier.inference_calls == 0
+
+    def test_label_edge_cases(self, verifier):
+        assert verifier.label_of_nodes([]) is None
+        assert verifier.label_of_remainder(range(verifier.graph.n_nodes)) is None
+        assert verifier.check([], 0) == (False, False)
+        assert verifier.inference_calls == 0
+
+    def test_prefetch_skips_degenerate_keys(self, verifier):
+        n = verifier.graph.n_nodes
+        assert verifier.prefetch_subsets([frozenset()]) == 0
+        assert verifier.prefetch_remainders([frozenset(range(n))]) == 0
+        assert verifier.inference_calls == 0
+
+    def test_subset_probability_of_whole_graph_is_real(self, verifier):
+        """The *subset* covering all nodes is the graph itself — a valid
+        (non-degenerate) query that must run inference."""
+        n = verifier.graph.n_nodes
+        p = verifier.subset_probability(range(n), verifier.original_label)
+        assert 0.0 <= p <= 1.0
+        assert verifier.inference_calls == 1
+        assert p == pytest.approx(
+            float(
+                verifier.model.predict_proba(verifier.graph)[
+                    verifier.original_label
+                ]
+            )
+        )
+
+
+class TestVpExtendFrontier:
+    def test_matches_serial_vp_extend(self, trained_model, mutagen_db):
+        g = mutagen_db[1]
+        for mode in (VERIFY_SOFT, VERIFY_PAPER):
+            verifier = GnnVerifier(trained_model, g)
+            selected = frozenset({0})
+            expected = [
+                v
+                for v in g.nodes()
+                if vp_extend(v, selected, verifier, 1, 4, mode)
+            ]
+            frontier = vp_extend_frontier(
+                g.nodes(), selected, BatchedGnnVerifier(trained_model, g), 1, 4, mode
+            )
+            assert frontier == expected
+
+    def test_respects_upper_bound(self, trained_model, mutagen_db):
+        verifier = BatchedGnnVerifier(trained_model, mutagen_db[0])
+        assert (
+            vp_extend_frontier(
+                [2, 3], frozenset({0, 1}), verifier, 0, 2, VERIFY_PAPER
+            )
+            == []
+        )
+        assert verifier.inference_calls == 0  # over-bound: no probes
 
 
 class TestVpExtend:

@@ -1,0 +1,84 @@
+"""Golden regression snapshots of full explanation ``ViewSet``s.
+
+Two seeded end-to-end runs are frozen under ``tests/golden/``: future
+performance work (batching, caching, parallelism) must not silently
+change *which* nodes and patterns explain a model. Any drift in
+selected nodes, §2.2 flags, pattern keys, or (rounded) objectives
+fails here; an intentional behavior change regenerates the snapshots
+with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_views.py
+
+and the diff is then reviewed like any other code change.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.config import GvexConfig
+from repro.core.approx import ApproxGvex
+from repro.datasets.registry import load_dataset
+from repro.gnn.model import GnnClassifier
+from repro.graphs.view import ViewSet
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REGEN = bool(os.environ.get("REPRO_REGEN_GOLDEN"))
+
+
+def view_set_fingerprint(views: ViewSet) -> dict:
+    """JSON-stable digest of everything a view set asserts."""
+    out = {}
+    for view in views:
+        out[str(view.label)] = {
+            "score": round(view.score, 6),
+            "edge_loss": round(view.edge_loss, 6),
+            "patterns": sorted(p.key() for p in view.patterns),
+            "subgraphs": [
+                {
+                    "graph_index": s.graph_index,
+                    "nodes": list(s.nodes),
+                    "consistent": s.consistent,
+                    "counterfactual": s.counterfactual,
+                    "score": round(s.score, 6),
+                }
+                for s in view.subgraphs
+            ],
+        }
+    return out
+
+
+def check_against_golden(name: str, fingerprint: dict) -> None:
+    path = GOLDEN_DIR / f"{name}.json"
+    if REGEN:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(fingerprint, indent=2, sort_keys=True) + "\n")
+        return
+    if not path.exists():
+        pytest.fail(
+            f"golden snapshot {path} missing — regenerate with "
+            "REPRO_REGEN_GOLDEN=1"
+        )
+    golden = json.loads(path.read_text())
+    assert fingerprint == golden, (
+        f"explanation drift against {path.name}; if intentional, "
+        "regenerate with REPRO_REGEN_GOLDEN=1 and review the diff"
+    )
+
+
+def test_golden_mutagen_trained(trained_model, mutagen_db):
+    """Trained GCN on the NO2-motif dataset (the suite's main pairing)."""
+    config = GvexConfig(theta=0.08, radius=0.3, gamma=0.5).with_bounds(0, 6)
+    views = ApproxGvex(trained_model, config).explain(mutagen_db)
+    check_against_golden("mutagen_trained", view_set_fingerprint(views))
+
+
+def test_golden_pcq_seeded():
+    """Seeded (untrained) classifier on the PCQ molecule generator."""
+    db = load_dataset("pcqm4m", scale="test", seed=0)
+    model = GnnClassifier(9, 3, hidden_dims=(8, 8), seed=0)
+    config = GvexConfig(theta=0.1, radius=0.4, gamma=0.5).with_bounds(0, 5)
+    views = ApproxGvex(model, config).explain(db)
+    check_against_golden("pcq_seeded", view_set_fingerprint(views))

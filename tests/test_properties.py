@@ -6,7 +6,12 @@ Invariants checked on randomly generated graphs:
   * induced subsets of a host always match it (induced isomorphism);
   * pattern coverage is monotone in the pattern set;
   * Psum always reaches full node coverage and valid edge loss;
-  * ESU enumeration equals brute force on small graphs.
+  * ESU enumeration equals brute force on small graphs;
+  * the explainability objective is monotone submodular (Lemma 3.3),
+    so greedy marginal gains are non-increasing along the selection;
+  * StreamGVEX's cache swap only fires when ``gain(v) >= 2·loss(v⁻)``
+    (the Theorem 5.1 rule) — the invariant the batched-verification
+    refactor must not disturb.
 """
 
 from itertools import combinations
@@ -17,13 +22,17 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.config import GvexConfig
+from repro.core.explainability import ExplainabilityOracle
 from repro.core.psum import summarize
+from repro.core.streaming import StreamGvex
+from repro.gnn.model import GnnClassifier
 from repro.graphs.graph import Graph
 from repro.graphs.io import graph_from_dict, graph_to_dict
 from repro.graphs.pattern import Pattern
 from repro.matching.coverage import CoverageIndex
 from repro.matching.isomorphism import is_subgraph_isomorphic
 from repro.mining.enumerate import connected_node_subsets
+from repro.mining.pgen import mine_incremental
 
 
 # ----------------------------------------------------------------------
@@ -150,6 +159,103 @@ def test_esu_matches_bruteforce(g):
             if g.is_connected_subset(combo):
                 brute.add(tuple(sorted(combo)))
     assert esu == brute
+
+
+# ----------------------------------------------------------------------
+# theory invariants the batched-verification refactor must preserve
+# ----------------------------------------------------------------------
+#: one untrained-but-seeded model per feature width; the objective's
+#: structure (not the weights) carries the invariants, and hypothesis
+#: forbids per-example fixture churn anyway
+_ORACLE_MODEL = GnnClassifier(3, 2, hidden_dims=(8, 8), seed=0)
+_ORACLE_CONFIG = GvexConfig(theta=0.05, radius=0.4, gamma=0.5)
+
+
+def _oracle_for(g: Graph) -> ExplainabilityOracle:
+    return ExplainabilityOracle(_ORACLE_MODEL, g, _ORACLE_CONFIG)
+
+
+@settings(max_examples=40, deadline=None)
+@given(g=random_graphs(max_nodes=8, directed=False))
+def test_greedy_marginal_gains_non_increasing(g):
+    """Lemma 3.3: ``f`` monotone submodular ⇒ greedy gains only shrink.
+
+    This is exactly the property that licenses the lazy heap in
+    ``_grow_lazy`` (stale entries stay upper bounds).
+    """
+    oracle = _oracle_for(g)
+    state = oracle.new_state()
+    gains = []
+    for _ in range(g.n_nodes):
+        v = oracle.best_candidate(state, g.nodes())
+        if v is None:
+            break
+        gains.append(oracle.add(state, v))
+    assert all(later <= earlier + 1e-12 for earlier, later in zip(gains, gains[1:]))
+    # monotone: every realized gain is non-negative
+    assert all(gain >= -1e-12 for gain in gains)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data(), g=random_graphs(max_nodes=8, directed=False))
+def test_gain_is_submodular_across_nested_states(data, g):
+    """``gain(S, v) >= gain(T, v)`` whenever ``S ⊆ T`` and ``v ∉ T``."""
+    oracle = _oracle_for(g)
+    nodes = list(g.nodes())
+    t_size = data.draw(st.integers(0, max(0, g.n_nodes - 1)))
+    T = set(data.draw(st.permutations(nodes))[:t_size])
+    S = {v for v in T if data.draw(st.booleans())}
+    outside = sorted(set(nodes) - T)
+    if not outside:
+        return
+    v = data.draw(st.sampled_from(outside))
+    gain_small = oracle.gain(oracle.state_for(S), v)
+    gain_big = oracle.gain(oracle.state_for(T), v)
+    assert gain_small >= gain_big - 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data(), g=random_graphs(max_nodes=8, max_types=3, directed=False))
+def test_stream_swap_rule_threshold(data, g):
+    """Theorem 5.1: a full cache swaps ``v⁻`` for ``v`` iff the arriving
+    node adds pattern structure AND ``gain(v) >= 2 · loss(v⁻)``."""
+    if g.n_nodes < 3:
+        return
+    upper = data.draw(st.integers(1, g.n_nodes - 1))
+    order = data.draw(st.permutations(list(g.nodes())))
+    selected = set(order[:upper])
+    v = order[upper]
+    oracle = _oracle_for(g)
+    state = oracle.state_for(selected)
+    seen_sub, seen_ids = g.induced_subgraph(g.nodes())  # identity relabel
+    to_local = {n: n for n in g.nodes()}
+
+    # recompute the rule's ingredients independently before the call
+    v_minus = min(sorted(selected), key=lambda u: (oracle.loss(state, u), u))
+    reduced = oracle.remove(state, v_minus)
+    gain_v = oracle.gain(reduced, v)
+    gain_v_minus = oracle.gain(reduced, v_minus)
+    delta = mine_incremental(
+        seen_sub,
+        new_node=v,
+        radius=_ORACLE_CONFIG.stream_radius,
+        known=[],
+        max_size=_ORACLE_CONFIG.max_pattern_size,
+    )
+
+    algo = StreamGvex(_ORACLE_MODEL, _ORACLE_CONFIG)
+    took = algo._inc_update_vs(
+        v, selected, set(), oracle, state, to_local, upper,
+        seen_sub, seen_ids, [],
+    )
+    if took:
+        assert delta, "swap must be justified by new pattern structure"
+        assert gain_v >= 2.0 * gain_v_minus - 1e-12
+        assert v in selected and v_minus not in selected
+        assert len(selected) == upper  # cache size is preserved
+    else:
+        assert (not delta) or gain_v < 2.0 * gain_v_minus + 1e-12
+        assert v not in selected
 
 
 @settings(max_examples=40, deadline=None)

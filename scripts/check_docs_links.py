@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Check intra-repo links in README.md and docs/*.md.
+
+Fails (exit 1) when a markdown link target that is not an external URL
+or a pure in-page anchor does not resolve to an existing file or
+directory, relative to the file containing the link. Run from anywhere:
+
+    python scripts/check_docs_links.py
+
+Used by the CI docs lane and mirrored by ``tests/test_docs.py`` so the
+tier-1 suite catches broken links before CI does.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: inline markdown links: [text](target) — images share the syntax
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> "list[Path]":
+    files = []
+    readme = REPO / "README.md"
+    if readme.exists():
+        files.append(readme)
+    files.extend(sorted((REPO / "docs").glob("*.md")))
+    return files
+
+
+def broken_links(path: Path) -> "list[tuple[int, str]]":
+    bad = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for target in LINK.findall(line):
+            if target.startswith(EXTERNAL):
+                continue
+            if target.startswith("#"):  # in-page anchor
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                bad.append((lineno, target))
+    return bad
+
+
+def main() -> int:
+    failures = 0
+    for path in doc_files():
+        for lineno, target in broken_links(path):
+            rel = path.relative_to(REPO)
+            print(f"{rel}:{lineno}: broken link -> {target}")
+            failures += 1
+    if failures:
+        print(f"{failures} broken link(s)")
+        return 1
+    print(f"checked {len(doc_files())} file(s): all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

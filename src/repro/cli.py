@@ -19,7 +19,13 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from repro.config import BACKEND_BATCHED, VERIFIER_BACKENDS, GvexConfig
+from repro.config import (
+    BACKEND_BATCHED,
+    STREAM_INC_MODES,
+    STREAM_INCREMENTAL,
+    VERIFIER_BACKENDS,
+    GvexConfig,
+)
 from repro.core.approx import ApproxGvex
 from repro.core.streaming import StreamGvex
 from repro.datasets.registry import DATASETS, dataset_info, load_dataset
@@ -68,6 +74,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=BACKEND_BATCHED,
         help="EVerify scheduling: batched (default) or the serial reference; "
         "both produce identical views (see docs/verification.md)",
+    )
+    p_explain.add_argument(
+        "--stream-inc",
+        choices=list(STREAM_INC_MODES),
+        default=STREAM_INCREMENTAL,
+        help="IncEVerify schedule for --method stream: extend persistent "
+        "influence/diversity accumulators per chunk (incremental, default) "
+        "or re-derive the oracle on the seen prefix (rebuild); both select "
+        "identical views (see docs/streaming.md)",
     )
     p_explain.add_argument(
         "--labels", type=int, nargs="*", help="labels of interest (default: all)"
@@ -166,6 +181,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             radius=args.radius,
             gamma=args.gamma,
             verifier_backend=args.backend,
+            stream_inc=args.stream_inc,
         ).with_bounds(args.lower, args.upper)
         labels = args.labels if args.labels else None
         if args.method == "approx":

@@ -48,6 +48,16 @@ BACKEND_BATCHED = "batched"
 
 VERIFIER_BACKENDS = (BACKEND_SERIAL, BACKEND_BATCHED)
 
+#: StreamGVEX ``IncEVerify``: rebuild the explainability oracle on the
+#: seen prefix once per chunk (the reference schedule).
+STREAM_REBUILD = "rebuild"
+#: StreamGVEX ``IncEVerify``: extend persistent influence/diversity
+#: accumulators when a chunk arrives (default; decision-identical to
+#: rebuild — see docs/streaming.md).
+STREAM_INCREMENTAL = "incremental"
+
+STREAM_INC_MODES = (STREAM_REBUILD, STREAM_INCREMENTAL)
+
 
 @dataclass(frozen=True)
 class CoverageConstraint:
@@ -128,6 +138,12 @@ class GvexConfig:
     stream_batch_size: int = 8
     #: StreamGVEX: neighborhood radius handed to IncPGen
     stream_radius: int = 1
+    #: StreamGVEX ``IncEVerify`` schedule: ``"incremental"`` (default)
+    #: extends persistent influence/diversity accumulators chunk by
+    #: chunk; ``"rebuild"`` re-derives the oracle on the seen prefix
+    #: every chunk and stays as the parity reference
+    #: (see docs/streaming.md)
+    stream_inc: str = STREAM_INCREMENTAL
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.theta <= 1.0:
@@ -171,6 +187,11 @@ class GvexConfig:
             raise ConfigurationError(
                 f"stream_radius must be >= 0, got {self.stream_radius}"
             )
+        if self.stream_inc not in STREAM_INC_MODES:
+            raise ConfigurationError(
+                f"stream_inc must be one of {STREAM_INC_MODES}, "
+                f"got {self.stream_inc!r}"
+            )
 
     def coverage_for(self, label: Hashable) -> CoverageConstraint:
         """Coverage constraint ``[b_l, u_l]`` for a class label."""
@@ -203,6 +224,9 @@ __all__ = [
     "BACKEND_SERIAL",
     "BACKEND_BATCHED",
     "VERIFIER_BACKENDS",
+    "STREAM_REBUILD",
+    "STREAM_INCREMENTAL",
+    "STREAM_INC_MODES",
     "SCOPE_PER_GRAPH",
     "SCOPE_PER_GROUP",
     "COVERAGE_SCOPES",

@@ -7,6 +7,7 @@ from repro.core.distributed import (
     merge_views,
 )
 from repro.core.explainability import ExplainabilityOracle, SelectionState
+from repro.core.inc_everify import IncrementalEVerify, OracleStats
 from repro.core.node_explain import NodeExplanation, explain_node
 from repro.core.parallel import explain_database_parallel
 from repro.core.psum import PsumResult, summarize
@@ -37,6 +38,8 @@ __all__ = [
     "NodeExplanation",
     "ExplainabilityOracle",
     "SelectionState",
+    "IncrementalEVerify",
+    "OracleStats",
     "summarize",
     "PsumResult",
     "GnnVerifier",

@@ -196,10 +196,10 @@ def _grow_lazy(
             chosen = popped[0][1]
         else:
             # the whole frontier's subset probas are needed below — fill
-            # the verifier cache with one stacked pass per round
-            verifier.prefetch_subsets(
-                [state.selected | {v} for v in pool]
-            )
+            # the verifier cache with one stacked pass per round; the
+            # frontier's index rows are one vectorized splice into the
+            # sorted selection, not per-subset sorting
+            verifier.prefetch_extensions(state.selected, pool)
             conf = {}
             for v in pool:
                 p = verifier.subset_probability(state.selected | {v}, label)

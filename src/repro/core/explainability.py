@@ -56,6 +56,35 @@ class ExplainabilityOracle:
             self.B = np.zeros((0, 0), dtype=bool)
             self.R = np.zeros((0, 0), dtype=bool)
 
+    @classmethod
+    def from_relations(
+        cls,
+        graph: Graph,
+        config: GvexConfig,
+        influence: np.ndarray,
+        diversity: np.ndarray,
+    ) -> "ExplainabilityOracle":
+        """Oracle over precomputed boolean relations ``B`` and ``R``.
+
+        StreamGVEX's incremental ``IncEVerify`` maintains the influence
+        relation and diversity balls as persistent accumulators across
+        stream chunks; this constructor wraps them in the standard
+        value/gain interface without re-deriving anything.
+        """
+        n = graph.n_nodes
+        if influence.shape != (n, n) or diversity.shape != (n, n):
+            raise ValueError(
+                f"relations must be ({n}, {n}); got {influence.shape} "
+                f"and {diversity.shape}"
+            )
+        self = cls.__new__(cls)
+        self.graph = graph
+        self.config = config
+        self.n = n
+        self.B = influence
+        self.R = diversity
+        return self
+
     # ------------------------------------------------------------------
     def new_state(self) -> SelectionState:
         return SelectionState(
@@ -84,7 +113,13 @@ class ExplainabilityOracle:
         return self.value_of_state(self.state_for(nodes))
 
     def gain(self, state: SelectionState, v: int) -> float:
-        """Marginal gain of adding node ``v`` (without mutating state)."""
+        """Marginal gain of adding node ``v`` (without mutating state).
+
+        The quantity bounded by Lemma 3.3: ``f`` is monotone
+        submodular, so these marginals are non-increasing along a
+        selection — what justifies lazy-greedy evaluation in
+        ApproxGVEX and the swap test in StreamGVEX.
+        """
         if v in state.selected:
             return 0.0
         new_influenced = state.influenced | self.B[v]

@@ -101,6 +101,7 @@ class CenterGraphClassifier:
         graph: Graph,
         node_subsets: List[List[int]],
         cache: Optional[dict] = None,
+        presorted: bool = False,
     ) -> np.ndarray:
         """Batched ``predict_proba`` over node-induced subgraphs.
 
@@ -108,10 +109,14 @@ class CenterGraphClassifier:
         with stacked passes. Rows match the serial path bit-for-bit:
         subsets lacking the center marker (or empty) get the uniform
         prior, others the center row of the stacked node-model forward.
+        ``presorted=True`` takes a ``(B, k)`` index matrix of strictly
+        increasing rows and skips per-subset normalization (the
+        frontier-reuse fast path).
         """
         from repro.gnn.batch import (
             batched_aggregation,
             batched_subset_probas,
+            presorted_rows_probas,
             stacked_layers,
         )
 
@@ -149,6 +154,15 @@ class CenterGraphClassifier:
                 )
             return out
 
+        if presorted:
+            return presorted_rows_probas(
+                graph,
+                np.asarray(node_subsets, dtype=np.intp),
+                self.n_classes,
+                features,
+                forward_group,
+                cache,
+            )
         return batched_subset_probas(
             graph, node_subsets, self.n_classes, features, forward_group, cache
         )

@@ -9,15 +9,24 @@ cheapest-to-lose incumbent ``v⁻`` only when ``gain(v) >= 2 · loss(v⁻)``
 pattern set covering ``V_S``, mining new candidates only from the
 arriving node's ``r``-hop neighborhood (``IncPGen``).
 
-``IncEVerify`` is realized by rebuilding the explainability oracle on
-the *seen* induced subgraph once per batch: the oracle's scores on the
-seen prefix are exactly the paper's incrementally-maintained
-influence/diversity values (we trade the paper's incremental Jacobian
-update for a per-batch recompute; semantics are identical, and the
-batch size bounds the extra cost).
+``IncEVerify`` — the per-chunk refresh of the influence/diversity
+oracle on the seen prefix — has two schedules, selected by
+``GvexConfig.stream_inc``:
+
+* ``"incremental"`` (default): :class:`~repro.core.inc_everify.
+  IncrementalEVerify` carries the propagation-power sequence, the
+  per-layer hidden states, and the embedding-distance matrix across
+  chunks as persistent accumulators, extending them with rank-bounded
+  updates when nodes arrive — the paper's genuinely incremental
+  reading of §5 (see docs/streaming.md).
+* ``"rebuild"``: re-derive the oracle on the seen induced subgraph
+  once per chunk. Semantically identical, pays a full forward pass
+  and power build per chunk; kept as the parity reference.
 
 Every batch boundary records an :class:`AnytimeSnapshot`, giving the
-"anytime" view quality/runtime curves of Figures 9(f) and 12.
+"anytime" view quality/runtime curves of Figures 9(f) and 12;
+:class:`StreamResult.oracle_stats` accounts the maintenance work so
+the schedules can be compared (``bench_fig12_node_order.py``).
 """
 
 from __future__ import annotations
@@ -28,8 +37,9 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tupl
 
 import numpy as np
 
-from repro.config import GvexConfig, VERIFY_PAPER
+from repro.config import GvexConfig, STREAM_INCREMENTAL, VERIFY_PAPER
 from repro.core.explainability import ExplainabilityOracle, SelectionState
+from repro.core.inc_everify import IncrementalEVerify, OracleStats
 from repro.core.psum import summarize
 from repro.core.verifiers import GnnVerifier, make_verifier, vp_extend
 from repro.gnn.model import GnnClassifier
@@ -55,15 +65,31 @@ class AnytimeSnapshot:
 
 @dataclass
 class StreamResult:
-    """Per-graph streaming outcome."""
+    """Per-graph streaming outcome.
+
+    ``oracle_stats`` accounts the ``IncEVerify`` maintenance work: the
+    rebuild schedule pays one full refresh per chunk, the incremental
+    engine one per stream plus cheap extensions — the per-chunk launch
+    contrast the parity suite and ``bench_fig12_node_order.py`` assert.
+    """
 
     subgraph: Optional[ExplanationSubgraph]
     patterns: List[Pattern] = field(default_factory=list)
     snapshots: List[AnytimeSnapshot] = field(default_factory=list)
+    oracle_stats: OracleStats = field(default_factory=OracleStats)
 
 
 class StreamGvex:
-    """Streaming view generation with anytime guarantees."""
+    """Streaming view generation with anytime guarantees (Algorithm 3).
+
+    Maintains an explanation view over a single pass of each graph's
+    node stream; any prefix of the stream yields a valid (1/4-
+    approximate, Theorem 5.1) view, which is what makes the algorithm
+    "anytime". ``GvexConfig.stream_inc`` selects the ``IncEVerify``
+    schedule (incremental accumulators vs. per-chunk rebuild) and
+    ``GvexConfig.verifier_backend`` the ``EVerify`` scheduling — all
+    four combinations select identical views.
+    """
 
     def __init__(
         self,
@@ -110,6 +136,11 @@ class StreamGvex:
         batch = config.stream_batch_size
         verifier = make_verifier(self.model, graph, config)
         mode = config.verification
+        engine: Optional[IncrementalEVerify] = None
+        stats = OracleStats()
+        if config.stream_inc == STREAM_INCREMENTAL:
+            engine = IncrementalEVerify(self.model, config)
+            stats = engine.stats
 
         seen: List[int] = []
         selected: Set[int] = set()  # global node ids
@@ -124,9 +155,15 @@ class StreamGvex:
             chunk = stream[batch_start : batch_start + batch]
             seen.extend(chunk)
             # IncEVerify: refresh influence/diversity on the seen prefix
+            # — extending persistent accumulators (incremental) or
+            # re-deriving the oracle (rebuild), per config.stream_inc
             seen_sub, seen_ids = graph.induced_subgraph(seen)
             to_local = {g: l for l, g in enumerate(seen_ids)}
-            oracle = ExplainabilityOracle(self.model, seen_sub, config)
+            if engine is not None:
+                oracle = engine.refresh(seen_sub, seen_ids)
+            else:
+                oracle = ExplainabilityOracle(self.model, seen_sub, config)
+                stats.full_refreshes += 1
             state = oracle.state_for([to_local[v] for v in selected])
 
             if mode == VERIFY_PAPER and verifier.is_batched:
@@ -135,11 +172,11 @@ class StreamGvex:
                 # is warm, so most per-node vp_extend probes hit. Only
                 # the batched backend prefetches — the serial reference
                 # must keep its lazy one-forward-per-probe schedule.
-                ext = [
-                    frozenset(selected | {v}) for v in chunk if v not in selected
-                ]
-                verifier.prefetch_subsets(ext)
-                verifier.prefetch_remainders(ext)
+                fresh = [v for v in chunk if v not in selected]
+                verifier.prefetch_extensions(selected, fresh)
+                verifier.prefetch_remainders(
+                    [frozenset(selected | {v}) for v in fresh]
+                )
             for v in chunk:
                 backup.add(v)
                 if mode == VERIFY_PAPER and not vp_extend(
@@ -182,7 +219,12 @@ class StreamGvex:
             oracle.add(state, v_local)
             selected.add(_global_of(to_local, v_local))
         if len(selected) < lower or not selected:
-            return StreamResult(subgraph=None, patterns=patterns, snapshots=snapshots)
+            return StreamResult(
+                subgraph=None,
+                patterns=patterns,
+                snapshots=snapshots,
+                oracle_stats=stats,
+            )
 
         # consistency repair: the stream admits nodes in arrival order, so
         # the cache may lack the class-evidencing region; extend toward it
@@ -195,8 +237,10 @@ class StreamGvex:
             if not pool:
                 break
             # every pool extension is probed by the argmax below — fill
-            # the cache with one stacked pass per repair round
-            verifier.prefetch_subsets([selected | {v} for v in pool])
+            # the cache with one stacked pass per repair round; the
+            # frontier's index rows are one vectorized splice into the
+            # sorted selection, not per-subset sorting
+            verifier.prefetch_extensions(selected, pool)
             best = max(
                 pool,
                 key=lambda v: (
@@ -229,6 +273,7 @@ class StreamGvex:
             ),
             patterns=patterns,
             snapshots=snapshots,
+            oracle_stats=stats,
         )
 
     # ------------------------------------------------------------------
@@ -245,7 +290,17 @@ class StreamGvex:
         seen_ids: List[int],
         patterns: Sequence[Pattern],
     ) -> bool:
-        """Procedure 4. Returns True when ``v`` entered ``V_S``."""
+        """``IncUpdateVS`` (Procedure 4): maintain the size-``u_l`` cache.
+
+        An arriving node with fresh pattern structure replaces the
+        cheapest-to-lose incumbent ``v⁻`` only when ``gain(v) >=
+        2·loss(v⁻)`` — the Theorem 5.1 swap rule, whose doubled-loss
+        margin is what bounds the value surrendered over the stream
+        and preserves the 1/4-approximation. Gains and losses are the
+        submodular marginals of Eq. 2 (Lemma 3.3), served by the
+        chunk's ``IncEVerify`` oracle. Returns True when ``v`` entered
+        ``V_S``.
+        """
         v_local = to_local[v]
         # (a) cache not full: just add
         if len(selected) < upper:
@@ -323,7 +378,13 @@ class StreamGvex:
         predicted: Optional[Sequence[Optional[int]]] = None,
         shuffle_streams: bool = False,
     ) -> ViewSet:
-        """Generate explanation views for every label of interest."""
+        """Generate explanation views for every label of interest.
+
+        Groups the database by (given or predicted) label and streams
+        each graph through :meth:`explain_graph_stream`, then
+        summarizes the higher-tier patterns per label group (``Psum``)
+        — the streaming counterpart of Problem 1's view generation.
+        """
         if predicted is None:
             predicted = [self.model.predict(g) for g in db]
         groups: Dict[int, List[int]] = {}

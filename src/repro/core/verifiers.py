@@ -134,6 +134,23 @@ class GnnVerifier:
             self._remainder_proba(key)
         return len(misses)
 
+    def prefetch_extensions(
+        self, base: Iterable[int], candidates: Iterable[int]
+    ) -> int:
+        """Cache ``P(M(G_s))`` for ``base ∪ {v}`` per candidate ``v``.
+
+        The shape every greedy frontier takes: consecutive rounds grow
+        ``base`` by one node, so the batched backend can splice the new
+        column into the previous round's stacked index arrangement
+        instead of re-sorting every subset (frontier tensor reuse).
+        This serial reference keeps the lazy one-forward-per-miss
+        schedule; decisions are identical either way.
+        """
+        base_key = frozenset(int(v) for v in base)
+        return self.prefetch_subsets(
+            [base_key | {int(v)} for v in candidates]
+        )
+
     def label_of_nodes(self, nodes: Iterable[int]) -> Optional[int]:
         """``M(G_s)`` for the node-induced subgraph on ``nodes``."""
         key = frozenset(int(v) for v in nodes)
@@ -208,11 +225,13 @@ class BatchedGnnVerifier(GnnVerifier):
         #: immutable per graph; reusing them across launches avoids an
         #: O(n²) rebuild every prefetch
         self._gather_cache: dict = {}
+        self._pass_presorted = False
         if self._can_batch:
             import inspect
 
             params = inspect.signature(model.predict_proba_batch).parameters
             self._pass_cache = "cache" in params
+            self._pass_presorted = "presorted" in params
 
     def _launch(self, subsets: "list[list[int]]") -> "list[np.ndarray]":
         """Stacked forwards over ``subsets``, chunked to the memory cap."""
@@ -263,6 +282,55 @@ class BatchedGnnVerifier(GnnVerifier):
         )
         for key, row in zip(misses, rows):
             self._remainder_probas[key] = row
+        return len(misses)
+
+    def prefetch_extensions(
+        self, base: Iterable[int], candidates: Iterable[int]
+    ) -> int:
+        """Stacked fill of ``base ∪ {v}`` probes via the splice fast path.
+
+        Builds the frontier's sorted index matrix with one vectorized
+        splice into the shared ``base`` arrangement
+        (:func:`repro.gnn.batch.extension_index_matrix`) — skipping the
+        per-subset sorting and validation of the generic prefetch — and
+        launches it through the presorted fast path. No state is
+        carried between rounds (the gathers read the per-graph ``X``/
+        ``A`` cache, which costs the same as splicing old tensors
+        would). Cached values are bit-identical to
+        :meth:`prefetch_subsets`'s.
+        """
+        base_key = frozenset(int(v) for v in base)
+        fresh = [
+            v
+            for v in dict.fromkeys(int(v) for v in candidates)
+            if v not in base_key
+        ]
+        misses = [v for v in fresh if base_key | {v} not in self._subset_probas]
+        if not misses:
+            return 0
+        if not (self._can_batch and self._pass_presorted):
+            return super().prefetch_extensions(base_key, misses)
+        from repro.gnn.batch import extension_index_matrix
+
+        idx = extension_index_matrix(base_key, misses)
+        width = idx.shape[1]
+        chunk = max(1, self.BATCH_ELEMENT_BUDGET // max(1, width * width))
+        start = 0
+        while start < len(misses):
+            part = idx[start : start + chunk]
+            if self._pass_cache:
+                probas = self.model.predict_proba_batch(
+                    self.graph, part, cache=self._gather_cache, presorted=True
+                )
+            else:
+                probas = self.model.predict_proba_batch(
+                    self.graph, part, presorted=True
+                )
+            for v, row in zip(misses[start : start + chunk], probas):
+                self._subset_probas[base_key | {v}] = row
+            self.inference_calls += 1
+            self.subsets_evaluated += len(part)
+            start += chunk
         return len(misses)
 
 
@@ -326,13 +394,13 @@ def vp_extend_frontier(
     """
     cands = [int(v) for v in candidates]
     if mode == VERIFY_PAPER:
-        keys = [
-            selected | {v}
+        feasible = [
+            v
             for v in cands
             if v not in selected and len(selected) + 1 <= upper_bound
         ]
-        verifier.prefetch_subsets(keys)
-        verifier.prefetch_remainders(keys)
+        verifier.prefetch_extensions(selected, feasible)
+        verifier.prefetch_remainders([selected | {v} for v in feasible])
     return [
         v for v in cands if vp_extend(v, selected, verifier, label, upper_bound, mode)
     ]

@@ -19,12 +19,18 @@ Two modes (``GvexConfig.jacobian``):
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.config import JACOBIAN_EXACT, JACOBIAN_EXPECTED
 from repro.exceptions import ModelError
 from repro.gnn.model import GnnClassifier
-from repro.gnn.propagation import propagation_power
+from repro.gnn.propagation import (
+    extend_power_sequence,
+    power_sequence,
+    propagation_power,
+)
 from repro.graphs.graph import Graph
 
 #: refuse to allocate an exact-Jacobian tensor above this many floats
@@ -96,6 +102,43 @@ def exact_influence(model: GnnClassifier, graph: Graph) -> np.ndarray:
     return np.abs(T).sum(axis=(1, 3))
 
 
+def extend_expected_influence(
+    model: GnnClassifier,
+    graph: Graph,
+    prev_powers: "list[np.ndarray]",
+    prev_positions: np.ndarray,
+    Q: "Optional[np.ndarray]" = None,
+) -> "tuple[np.ndarray, list[np.ndarray]]":
+    """Expected-mode ``I1`` for a *grown* graph, rank-updating cached powers.
+
+    The incremental ``IncEVerify`` path of StreamGVEX (§5): instead of
+    re-deriving ``Q^k`` on the seen prefix after every arriving chunk,
+    the cached power sequence of the previous prefix is extended with a
+    factored low-rank correction
+    (:func:`repro.gnn.propagation.extend_power_sequence`).
+    ``prev_positions[i]`` is the new index of previous node ``i``
+    (ignored, and may be empty, when ``prev_powers`` is).
+
+    Callers that already built the aggregation matrix pass it as ``Q``
+    to avoid a second ``O(m²)`` construction per chunk.
+
+    Returns ``(I1, powers)`` where ``powers`` is the sequence to cache
+    for the next chunk. With an empty ``prev_powers`` (first chunk) the
+    sequence is built from scratch. Only ``"expected"`` Jacobian mode
+    has this incremental structure — exact mode re-derives per chunk
+    (see docs/streaming.md).
+    """
+    if Q is None:
+        Q = model.aggregation_matrix(graph)
+    if prev_powers:
+        powers = extend_power_sequence(prev_powers, Q, prev_positions)
+    else:
+        powers = power_sequence(Q, model.n_layers)
+    if not powers:  # zero-layer degenerate: I1 = Q^0 = I
+        return np.eye(graph.n_nodes), powers
+    return powers[-1], powers
+
+
 def normalized_influence(I1: np.ndarray) -> np.ndarray:
     """Eq. 4: ``I2[u, v] = I1(v, u) / Σ_w I1(v, w)``.
 
@@ -112,6 +155,7 @@ __all__ = [
     "influence_matrix",
     "expected_influence",
     "exact_influence",
+    "extend_expected_influence",
     "normalized_influence",
     "EXACT_BUDGET_FLOATS",
 ]

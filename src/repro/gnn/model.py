@@ -233,6 +233,7 @@ class GnnClassifier:
         graph: Graph,
         node_subsets: Sequence[Iterable[int]],
         cache: Optional[Dict] = None,
+        presorted: bool = False,
     ) -> np.ndarray:
         """Class distributions for many node-induced subgraphs at once.
 
@@ -244,10 +245,17 @@ class GnnClassifier:
         This is the engine behind ``BatchedGnnVerifier``'s
         frontier-at-a-time cache fills; callers looping over one graph
         pass a ``cache`` dict to reuse the dense gather sources.
+
+        With ``presorted=True``, ``node_subsets`` is a ``(B, k)`` index
+        matrix of strictly increasing rows (uniform subset size, e.g.
+        from :func:`repro.gnn.batch.extension_index_matrix`) and the
+        per-subset normalization pass is skipped — the frontier-reuse
+        fast path. Results are identical either way.
         """
         from repro.gnn.batch import (
             batched_aggregation,
             batched_subset_probas,
+            presorted_rows_probas,
             rowwise_head,
             stacked_layers,
             stacked_readout,
@@ -266,6 +274,15 @@ class GnnClassifier:
             pooled = stacked_readout(H, self.readout)
             return softmax(rowwise_head(pooled, self.head_weight, self.head_bias))
 
+        if presorted:
+            return presorted_rows_probas(
+                graph,
+                np.asarray(node_subsets, dtype=np.intp),
+                self.n_classes,
+                lambda: self.features_for(graph),
+                forward_group,
+                cache,
+            )
         return batched_subset_probas(
             graph,
             node_subsets,

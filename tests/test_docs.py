@@ -1,0 +1,61 @@
+"""Docs hygiene: intra-repo links resolve, examples stay importable.
+
+Mirrors the CI docs lane (``.github/workflows/ci.yml``) inside tier-1,
+so a broken README/docs link or a syntax error in ``examples/`` fails
+locally before it fails in CI.
+"""
+
+import compileall
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _checker():
+    sys.path.insert(0, str(REPO / "scripts"))
+    try:
+        import check_docs_links
+    finally:
+        sys.path.pop(0)
+    return check_docs_links
+
+
+def test_readme_and_docs_exist():
+    assert (REPO / "README.md").exists()
+    assert (REPO / "docs" / "streaming.md").exists()
+    assert (REPO / "docs" / "verification.md").exists()
+
+
+def test_streaming_doc_cross_links_verification():
+    streaming = (REPO / "docs" / "streaming.md").read_text()
+    verification = (REPO / "docs" / "verification.md").read_text()
+    assert "verification.md" in streaming
+    assert "streaming.md" in verification
+
+
+def test_no_broken_intra_repo_links():
+    checker = _checker()
+    bad = {
+        str(path.relative_to(REPO)): links
+        for path in checker.doc_files()
+        if (links := checker.broken_links(path))
+    }
+    assert not bad, f"broken doc links: {bad}"
+
+
+def test_link_checker_flags_missing_target(tmp_path):
+    checker = _checker()
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "[ok](doc.md) [anchor](#sec) [web](https://x.test) "
+        "[missing](nope.md)\n"
+    )
+    bad = checker.broken_links(doc)
+    assert [target for _, target in bad] == ["nope.md"]
+
+
+def test_examples_compile():
+    assert compileall.compile_dir(
+        str(REPO / "examples"), quiet=2, force=True
+    ), "examples/ contains files that do not compile"

@@ -10,14 +10,11 @@ classified as mutagens, and answers the paper's motivating queries:
     python examples/drug_discovery.py
 """
 
+from repro.api import ExplanationService, Q
 from repro.config import GvexConfig
-from repro.core.approx import ApproxGvex
 from repro.datasets import mutagenicity
 from repro.datasets.molecules import C, N, O, nitro_group, amine_group
-from repro.gnn.model import GnnClassifier
-from repro.gnn.training import train_classifier
 from repro.graphs.pattern import Pattern
-from repro.matching.isomorphism import is_subgraph_isomorphic
 from repro.metrics.fidelity import fidelity_plus_single
 
 ATOM = {0: "C", 1: "N", 2: "O", 3: "H"}
@@ -29,14 +26,16 @@ def atoms_of(graph, nodes):
 
 def main() -> None:
     db = mutagenicity(n_graphs=40, seed=3)
-    model = GnnClassifier(14, 2, hidden_dims=(32, 32, 32), seed=0)
-    model, encoder, metrics = train_classifier(db, model, seed=0)
-    print(f"classifier: {metrics}")
+    svc = ExplanationService(
+        db=db,
+        # explain only the mutagen class, small tight explanations
+        config=GvexConfig(theta=0.08, radius=0.3).with_bounds(0, 5),
+    )
+    svc.fit_or_load()
+    model = svc.model
+    print(f"classifier: {svc.train_metrics}")
 
-    # explain only the mutagen class, small tight explanations
-    config = GvexConfig(theta=0.08, radius=0.3).with_bounds(0, 5)
-    algo = ApproxGvex(model, config, labels=[1])
-    views = algo.explain(db)
+    views = svc.explain("gvex-approx", labels=[1])
     view = views[1]
 
     print(f"\nmutagen view: {len(view.subgraphs)} subgraphs, "
@@ -59,11 +58,7 @@ def main() -> None:
     }
     print("\ntoxicophore query over explanation subgraphs:")
     for name, toxicophore in known_toxicophores.items():
-        hits = [
-            s.graph_index
-            for s in view.subgraphs
-            if is_subgraph_isomorphic(toxicophore, s.subgraph)
-        ]
+        hits = [h.graph_index for h in svc.query(Q.pattern(toxicophore) & Q.label(1))]
         print(f"  {name}: found in {len(hits)} explanation(s) -> {hits[:8]}")
 
     # Q3: are the discovered patterns themselves toxicophore-like?

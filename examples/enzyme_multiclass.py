@@ -12,24 +12,23 @@ objects).
 import tempfile
 from pathlib import Path
 
+from repro.api import ExplanationService
 from repro.config import GvexConfig
-from repro.core.approx import explain_database
 from repro.datasets import enzymes
-from repro.gnn.model import GnnClassifier
-from repro.gnn.training import train_classifier
-from repro.graphs.io import load_views, save_views
+from repro.graphs.io import load_views
 
 ELEMENT = {0: "helix", 1: "sheet", 2: "turn"}
 
 
 def main() -> None:
-    db = enzymes(n_graphs=60, seed=4)
-    model = GnnClassifier(3, 6, hidden_dims=(32, 32, 32), seed=0)
-    model, encoder, metrics = train_classifier(db, model, seed=0)
-    print(f"classifier: {metrics}")
+    svc = ExplanationService(
+        db=enzymes(n_graphs=60, seed=4),
+        config=GvexConfig(theta=0.08, radius=0.3).with_bounds(0, 7),
+    )
+    svc.fit_or_load()
+    print(f"classifier: {svc.train_metrics}")
 
-    config = GvexConfig(theta=0.08, radius=0.3).with_bounds(0, 7)
-    views = explain_database(db, model, config)
+    views = svc.explain("gvex-approx")
 
     print(f"\ngenerated {len(views)} views (one per predicted class)")
     for view in views:
@@ -47,10 +46,9 @@ def main() -> None:
             f"patterns: {compositions}"
         )
 
-    # persist and reload: views are plain JSON, directly queryable
+    # persist and reload: views are plain versioned JSON, queryable
     with tempfile.TemporaryDirectory() as tmp:
-        path = Path(tmp) / "enzyme_views.json"
-        save_views(views, path)
+        path = svc.persist(Path(tmp) / "enzyme_views.json")
         print(f"\nsaved views to {path} ({path.stat().st_size} bytes)")
         loaded = load_views(path)
         assert loaded.labels == views.labels

@@ -1,34 +1,35 @@
-"""Quickstart: train a GCN, explain it with GVEX, inspect the views.
+"""Quickstart: the `repro.api` front door in five lines.
 
-Runs in a few seconds on a laptop:
+Train a GCN, explain it with GVEX, inspect and query the views — all
+through the :class:`ExplanationService` facade (see docs/api.md). Runs
+in a few seconds on a laptop:
 
     python examples/quickstart.py
 """
 
+from repro.api import ExplanationService, Q
 from repro.config import GvexConfig
-from repro.core.approx import explain_database
 from repro.datasets import mutagenicity
-from repro.gnn.model import GnnClassifier
-from repro.gnn.training import train_classifier
+from repro.graphs.pattern import Pattern
 from repro.metrics.conciseness import mean_compression
 from repro.viz import view_report
 
 
 def main() -> None:
-    # 1. a graph database: molecules labelled mutagen / non-mutagen
+    # 1. a service bundling database + model + configuration lifecycle
     db = mutagenicity(n_graphs=32, seed=0)
+    svc = ExplanationService(
+        db=db,
+        config=GvexConfig(theta=0.08, radius=0.3, gamma=0.5).with_bounds(0, 6),
+    )
     print(f"database: {db}")
 
-    # 2. a GNN classifier M (3-layer GCN + max-pool, as in the paper)
-    model = GnnClassifier(in_dim=14, n_classes=2, hidden_dims=(32, 32, 32), seed=0)
-    model, encoder, metrics = train_classifier(db, model, seed=0)
-    print(f"classifier accuracy: {metrics}")
+    # 2. fit_or_load: trains a 3-layer GCN (or loads a cached .npz)
+    svc.fit_or_load()
+    print(f"classifier accuracy: {svc.train_metrics}")
 
-    # 3. a GVEX configuration C = (theta, r, {[b_l, u_l]}) + gamma
-    config = GvexConfig(theta=0.08, radius=0.3, gamma=0.5).with_bounds(0, 6)
-
-    # 4. explanation views, one per class label
-    views = explain_database(db, model, config)
+    # 3. explain: any registered method; GVEX's ApproxGVEX is default
+    views = svc.explain("gvex-approx")
     for view in views:
         label_name = "mutagen" if view.label == 1 else "non-mutagen"
         print(f"\nview for label {view.label} ({label_name}):")
@@ -43,6 +44,11 @@ def main() -> None:
         print(f"  edge loss: {view.edge_loss:.1%}")
 
     print(f"\nmean compression across views: {mean_compression(views):.1%}")
+
+    # 4. query: the composable DSL over the inverted pattern index
+    n_o_bond = Pattern.from_parts([1, 2], [(0, 1)])  # N-O bond
+    hits = svc.query(Q.pattern(n_o_bond) & Q.label(1))
+    print(f"N-O bond occurs in {len(hits)} mutagen explanation(s)")
 
     # 5. a human-readable report of one view (the inspection artifact)
     atom_names = {0: "C", 1: "N", 2: "O", 3: "H"}

@@ -1,7 +1,8 @@
 """Querying explanation views (the paper's headline "queryable" property).
 
-Generates views for the mutagenicity task, then answers the paper's §1
-analyst queries through the ViewIndex query engine:
+Generates views for the mutagenicity task through the service facade,
+then answers the paper's §1 analyst queries with the composable query
+DSL (``Q``), executed against the inverted pattern index:
 
   * "which toxicophores occur in mutagens?"
   * "which non-mutagens contain pattern P?"
@@ -10,14 +11,11 @@ analyst queries through the ViewIndex query engine:
     python examples/view_queries.py
 """
 
+from repro.api import ExplanationService, Q
 from repro.config import GvexConfig
-from repro.core.approx import explain_database
 from repro.datasets import mutagenicity
 from repro.datasets.molecules import N, O, nitro_group
-from repro.gnn.model import GnnClassifier
-from repro.gnn.training import train_classifier
 from repro.graphs.pattern import Pattern
-from repro.query import ViewIndex
 
 ATOM = {0: "C", 1: "N", 2: "O", 3: "H"}
 
@@ -27,14 +25,14 @@ def pattern_formula(p: Pattern) -> str:
 
 
 def main() -> None:
-    db = mutagenicity(n_graphs=36, seed=5)
-    model = GnnClassifier(14, 2, hidden_dims=(32, 32, 32), seed=0)
-    model, encoder, metrics = train_classifier(db, model, seed=0)
-    print(f"classifier: {metrics}")
-
-    config = GvexConfig(theta=0.08, radius=0.3).with_bounds(0, 6)
-    views = explain_database(db, model, config)
-    index = ViewIndex(views, db=db)
+    svc = ExplanationService(
+        db=mutagenicity(n_graphs=36, seed=5),
+        config=GvexConfig(theta=0.08, radius=0.3).with_bounds(0, 6),
+    )
+    svc.fit_or_load()
+    print(f"classifier: {svc.train_metrics}")
+    svc.explain("gvex-approx")
+    index = svc.index
 
     # Q1: which toxicophores occur in mutagen explanations?
     toxicophores = {
@@ -43,20 +41,24 @@ def main() -> None:
     }
     print("\nQ1: which toxicophores occur in mutagens?")
     for name, p in toxicophores.items():
-        hits = index.explanations_containing(p, label=1)
+        hits = svc.query(Q.pattern(p) & Q.label(1))
         print(f"  {name}: {len(hits)} mutagen explanation(s) "
               f"-> graphs {[h.graph_index for h in hits][:6]}")
 
     # Q2: which NON-mutagens contain a given pattern? (full-graph scope)
     print("\nQ2: which non-mutagen graphs contain an N-O bond?")
-    occurrences = index.graphs_containing(toxicophores["N-O bond"], label=0)
+    occurrences = svc.query(
+        Q.pattern(toxicophores["N-O bond"]) & Q.label(0) & Q.in_scope("graphs")
+    )
     print(f"  {len(occurrences)} non-mutagen(s) "
           f"(expected 0: the toxicophore is only planted in mutagens)")
 
-    # Q3: discriminative patterns (Example 1.1's P12)
+    # Q3: discriminative patterns (Example 1.1's P12) — the legacy
+    # method and its DSL equivalent run on the same posting lists
     print("\nQ3: patterns that distinguish mutagens from non-mutagens:")
     for p in index.discriminative_patterns(1, 0):
         stats = index.pattern_statistics(p)
+        assert not svc.query(Q.pattern(p) & Q.label(0))  # DSL equivalent
         print(f"  {pattern_formula(p)} ({p.n_nodes} nodes): "
               f"in {stats[1]} mutagen vs {stats[0]} non-mutagen explanations")
 

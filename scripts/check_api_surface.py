@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Public-API snapshot check for ``repro.api``.
+
+Compares the symbols exported by ``repro.api`` (its ``__all__``)
+against the committed manifest ``scripts/api_surface.txt``. Any drift
+— a symbol added without updating the manifest, or removed/renamed
+without a deliberate deprecation (docs/api.md) — fails the CI docs
+lane::
+
+    python scripts/check_api_surface.py            # check
+    python scripts/check_api_surface.py --update   # rewrite the manifest
+
+The exported list is read by importing ``repro.api`` when the runtime
+dependencies (numpy) are available, and by statically parsing
+``src/repro/api/__init__.py`` otherwise, so the check also runs in the
+dependency-free docs lane.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+MANIFEST = REPO / "scripts" / "api_surface.txt"
+API_INIT = REPO / "src" / "repro" / "api" / "__init__.py"
+
+
+def exported_symbols() -> "list[str]":
+    try:
+        sys.path.insert(0, str(REPO / "src"))
+        try:
+            import repro.api as api
+        finally:
+            sys.path.pop(0)
+    except ImportError:
+        return _static_all()
+    missing = [name for name in api.__all__ if not hasattr(api, name)]
+    if missing:
+        raise SystemExit(f"repro.api.__all__ names missing attributes: {missing}")
+    return sorted(api.__all__)
+
+
+def _static_all() -> "list[str]":
+    """Parse ``__all__`` from the package __init__ without importing."""
+    tree = ast.parse(API_INIT.read_text())
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            targets = [node.target.id]
+        if "__all__" in targets and node.value is not None:
+            value = ast.literal_eval(node.value)
+            return sorted(str(name) for name in value)
+    raise SystemExit(f"no literal __all__ found in {API_INIT}")
+
+
+def manifest_symbols() -> "list[str]":
+    if not MANIFEST.exists():
+        raise SystemExit(
+            f"manifest {MANIFEST} missing — create it with --update"
+        )
+    out = []
+    for line in MANIFEST.read_text().splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            out.append(line)
+    return sorted(out)
+
+
+def main(argv: "list[str]" = sys.argv[1:]) -> int:
+    actual = exported_symbols()
+    if "--update" in argv:
+        MANIFEST.write_text(
+            "# Snapshot of repro.api.__all__ — the supported public surface.\n"
+            "# Regenerate with: python scripts/check_api_surface.py --update\n"
+            "# Changing this file is an API change; see docs/api.md.\n"
+            + "\n".join(actual)
+            + "\n"
+        )
+        print(f"wrote {len(actual)} symbol(s) to {MANIFEST.relative_to(REPO)}")
+        return 0
+
+    expected = manifest_symbols()
+    added = sorted(set(actual) - set(expected))
+    removed = sorted(set(expected) - set(actual))
+    if added or removed:
+        if added:
+            print(f"symbols exported but not in manifest: {added}")
+        if removed:
+            print(f"symbols in manifest but no longer exported: {removed}")
+        print(
+            "public surface drift — if intentional, run "
+            "'python scripts/check_api_surface.py --update' and review "
+            "the diff against docs/api.md's deprecation policy"
+        )
+        return 1
+    print(f"repro.api surface matches manifest ({len(actual)} symbols)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,12 @@
 """repro — reproduction of GVEX: View-based Explanations for GNNs.
 
-Public API (SIGMOD 2024, Chen et al.):
+**The supported public surface is** :mod:`repro.api` (see
+``docs/api.md``): the :class:`~repro.api.ExplanationService` facade,
+the explainer registry, the composable query DSL, and the HTTP layer.
+``ExplanationService`` and ``Q`` are re-exported here lazily for
+convenience.
+
+Internals, for the curious:
 
 * :class:`repro.graphs.Graph`, :class:`repro.graphs.GraphDatabase` —
   attributed graph data model.
@@ -25,7 +31,23 @@ from repro.graphs import (
     ViewSet,
 )
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
+
+#: facade symbols resolved lazily so ``import repro`` stays light
+_API_EXPORTS = ("ExplanationService", "Q", "build_explainer", "register_explainer")
+
+
+def __getattr__(name: str):
+    if name in _API_EXPORTS:
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(list(globals()) + list(_API_EXPORTS))
+
 
 __all__ = [
     "Graph",
@@ -36,5 +58,9 @@ __all__ = [
     "ViewSet",
     "GvexConfig",
     "CoverageConstraint",
+    "ExplanationService",
+    "Q",
+    "build_explainer",
+    "register_explainer",
     "__version__",
 ]

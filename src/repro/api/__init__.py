@@ -1,0 +1,68 @@
+"""``repro.api`` — the single public surface of the reproduction.
+
+One front door for everything downstream code should need:
+
+* :class:`ExplanationService` — facade owning the ``fit_or_load →
+  explain → persist → query`` lifecycle (``repro.api.service``);
+* the explainer registry — :func:`register_explainer`,
+  :func:`build_explainer`, :class:`ExplainerSpec`
+  (``repro.api.registry``);
+* the composable query DSL — :class:`Q` and :class:`ViewIndex`
+  (re-exported from ``repro.query``);
+* the HTTP layer — :func:`serve` / :func:`create_server`
+  (``repro.api.server``);
+* the core value types and configuration.
+
+The supported surface is documented in ``docs/api.md`` and snapshotted
+by ``scripts/check_api_surface.py``; everything else in ``repro.*`` is
+internal and may change between PRs.
+"""
+
+from repro.api.registry import (
+    ExplainerSpec,
+    build_explainer,
+    explainer_names,
+    explainer_specs,
+    get_spec,
+    register_explainer,
+)
+from repro.api.server import ExplanationServer, create_server, serve
+from repro.api.service import ExplanationService, pattern_from_spec
+from repro.config import CoverageConstraint, GvexConfig
+from repro.graphs.io import VIEWS_SCHEMA_VERSION, load_views, save_views
+from repro.graphs.pattern import Pattern
+from repro.graphs.view import ExplanationSubgraph, ExplanationView, ViewSet
+from repro.query import PatternOccurrence, Q, Query, ViewIndex
+
+__all__ = [
+    # facade
+    "ExplanationService",
+    "pattern_from_spec",
+    # registry
+    "ExplainerSpec",
+    "register_explainer",
+    "build_explainer",
+    "get_spec",
+    "explainer_names",
+    "explainer_specs",
+    # query DSL
+    "Q",
+    "Query",
+    "ViewIndex",
+    "PatternOccurrence",
+    # serving
+    "ExplanationServer",
+    "create_server",
+    "serve",
+    # value types + config
+    "GvexConfig",
+    "CoverageConstraint",
+    "Pattern",
+    "ViewSet",
+    "ExplanationView",
+    "ExplanationSubgraph",
+    # persistence
+    "save_views",
+    "load_views",
+    "VIEWS_SCHEMA_VERSION",
+]

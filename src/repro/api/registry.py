@@ -1,0 +1,219 @@
+"""Explainer registry — uniform construction for GVEX and the baselines.
+
+Every explainer is described by an :class:`ExplainerSpec` and built
+through :func:`build_explainer`, so the CLI, the service, the bench
+harness, and the parallel engine construct, sweep, and capability-table
+methods identically instead of special-casing imports::
+
+    from repro.api import build_explainer
+
+    explainer = build_explainer("gvex-approx", model, config=config)
+    explainer = build_explainer("SX", model, seed=0, rollouts=15)
+
+Names resolve case-insensitively through each spec's aliases (the
+paper's short names — AG, SG, GE, SX, GX, GCF — all work). Third-party
+explainers can join the sweep with :func:`register_explainer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Type
+
+from repro.config import GvexConfig
+from repro.exceptions import RegistryError
+from repro.explainers import (
+    ApproxGvexExplainer,
+    GcfExplainer,
+    GnnExplainer,
+    GStarX,
+    RandomExplainer,
+    StreamGvexExplainer,
+    SubgraphX,
+)
+from repro.explainers.base import Explainer
+from repro.gnn.model import GnnClassifier
+
+
+@dataclass(frozen=True)
+class ExplainerSpec:
+    """How to build one explainer uniformly.
+
+    Attributes
+    ----------
+    name:
+        Canonical registry key (kebab-case).
+    cls:
+        The :class:`~repro.explainers.base.Explainer` subclass.
+    aliases:
+        Alternative lookup names (the paper's short names, CLI spellings).
+    takes_config:
+        Whether the constructor accepts a ``config=GvexConfig`` keyword.
+    takes_seed:
+        Whether the constructor accepts a ``seed`` keyword.
+    native_views:
+        Whether the explainer generates two-tier views natively
+        (GVEX's Algorithms 1–3) rather than via the generic
+        subgraphs + Psum recipe of ``Explainer.explain_views``.
+    defaults:
+        Default constructor keyword overrides.
+    description:
+        One-line summary for ``/explainers`` listings.
+    """
+
+    name: str
+    cls: Type[Explainer]
+    aliases: Tuple[str, ...] = ()
+    takes_config: bool = False
+    takes_seed: bool = True
+    native_views: bool = False
+    #: whether the method is a row of the paper's Table 1 matrix
+    in_table1: bool = True
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    description: str = ""
+
+    def capability_row(self):
+        """The spec's Table 1 capability metadata."""
+        return self.cls.capabilities
+
+
+_REGISTRY: Dict[str, ExplainerSpec] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_explainer(spec: ExplainerSpec) -> ExplainerSpec:
+    """Add a spec to the registry (canonical name + aliases).
+
+    Re-registering an existing canonical name replaces it; an alias
+    colliding with a *different* spec's name is rejected — before any
+    mutation, so a failed registration leaves the registry untouched.
+    """
+    canonical = spec.name.lower()
+    aliases = {alias.lower() for alias in (spec.name, *spec.aliases)}
+    for alias in sorted(aliases):
+        owner = _ALIASES.get(alias)
+        if owner is not None and owner != canonical:
+            raise RegistryError(
+                f"alias {alias!r} already registered for {owner!r}"
+            )
+    if canonical in _REGISTRY:  # drop the replaced spec's old aliases
+        for alias in [a for a, o in _ALIASES.items() if o == canonical]:
+            del _ALIASES[alias]
+    for alias in aliases:
+        _ALIASES[alias] = canonical
+    _REGISTRY[canonical] = spec
+    return spec
+
+
+def get_spec(name: str) -> ExplainerSpec:
+    """Resolve a canonical name or alias to its spec."""
+    try:
+        return _REGISTRY[_ALIASES[name.lower()]]
+    except KeyError:
+        raise RegistryError(
+            f"unknown explainer {name!r}; registered: {explainer_names()}"
+        ) from None
+
+
+def explainer_names(include_aliases: bool = False) -> List[str]:
+    """Registered canonical names (registration order)."""
+    if include_aliases:
+        return sorted(_ALIASES)
+    return list(_REGISTRY)
+
+
+def explainer_specs() -> List[ExplainerSpec]:
+    """All registered specs in registration order."""
+    return list(_REGISTRY.values())
+
+
+def build_explainer(
+    name: str,
+    model: GnnClassifier,
+    config: Optional[GvexConfig] = None,
+    seed: Optional[Any] = None,
+    **overrides: Any,
+) -> Explainer:
+    """Construct any registered explainer uniformly.
+
+    ``config`` reaches explainers that accept a :class:`GvexConfig`
+    (the GVEX algorithms); ``seed`` reaches those that take one;
+    ``overrides`` are method-specific constructor keywords (e.g.
+    ``rollouts`` for SubgraphX) layered over the spec's defaults.
+    """
+    spec = get_spec(name)
+    kwargs: Dict[str, Any] = dict(spec.defaults)
+    kwargs.update(overrides)
+    if spec.takes_config and config is not None:
+        kwargs["config"] = config
+    if spec.takes_seed and seed is not None:
+        kwargs["seed"] = seed
+    try:
+        return spec.cls(model, **kwargs)
+    except TypeError as exc:
+        raise RegistryError(
+            f"cannot build explainer {spec.name!r} with {sorted(kwargs)}: {exc}"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# built-in registrations (Table 1 row order, then the random baseline)
+# ----------------------------------------------------------------------
+register_explainer(ExplainerSpec(
+    name="subgraphx",
+    cls=SubgraphX,
+    aliases=("sx",),
+    description="MCTS + Shapley subgraph search (Yuan et al.)",
+))
+register_explainer(ExplainerSpec(
+    name="gnnexplainer",
+    cls=GnnExplainer,
+    aliases=("ge",),
+    description="learned edge/feature masks (Ying et al.)",
+))
+register_explainer(ExplainerSpec(
+    name="gstarx",
+    cls=GStarX,
+    aliases=("gx",),
+    description="structure-aware coalition scores (Zhang et al.)",
+))
+register_explainer(ExplainerSpec(
+    name="gcfexplainer",
+    cls=GcfExplainer,
+    aliases=("gcf",),
+    description="global counterfactual candidates (Huang et al.)",
+))
+register_explainer(ExplainerSpec(
+    name="gvex-approx",
+    cls=ApproxGvexExplainer,
+    aliases=("approx", "ag", "gvex"),
+    takes_config=True,
+    takes_seed=False,
+    native_views=True,
+    description="GVEX Algorithm 1/2: greedy + lower-bound two-tier views",
+))
+register_explainer(ExplainerSpec(
+    name="gvex-stream",
+    cls=StreamGvexExplainer,
+    aliases=("stream", "sg"),
+    takes_config=True,
+    native_views=True,
+    description="GVEX Algorithm 3: streaming anytime two-tier views",
+))
+register_explainer(ExplainerSpec(
+    name="random",
+    cls=RandomExplainer,
+    aliases=("rnd",),
+    in_table1=False,
+    description="random node subsets (sanity-check baseline)",
+))
+
+
+__all__ = [
+    "ExplainerSpec",
+    "register_explainer",
+    "get_spec",
+    "explainer_names",
+    "explainer_specs",
+    "build_explainer",
+]

@@ -1,0 +1,248 @@
+"""Stdlib JSON/HTTP endpoint over an :class:`ExplanationService`.
+
+The first concrete step toward the serving north star: a dependency-free
+``http.server`` wrapper exposing the explain + query lifecycle::
+
+    python -m repro.cli serve --dataset mutagenicity --port 8080
+
+Routes
+------
+``GET  /health``        service status + index statistics
+``GET  /explainers``    the registry (names, aliases, descriptions)
+``GET  /capabilities``  the Table 1 capability matrix (text)
+``GET  /views``         current views in the versioned wire format
+``POST /explain``       ``{"method", "labels"?, "config"?}`` -> view summary
+``POST /query``         ``{"pattern", "scope"?, "label"?, "patterns"?}``
+                        -> occurrences + per-label statistics
+
+All bodies and responses are JSON. Explain requests mutate the
+service's current views (and therefore what ``/query`` sees), matching
+the facade's semantics. The server is threaded for concurrent *reads*;
+``/explain`` runs under a lock so the model is never trained twice.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api.registry import explainer_specs
+from repro.api.service import ExplanationService, pattern_from_spec
+from repro.config import GvexConfig
+from repro.exceptions import ReproError
+from repro.graphs.io import viewset_to_dict
+from repro.query import Q, Query
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8080
+
+
+class ExplanationServer(ThreadingHTTPServer):
+    """A ThreadingHTTPServer carrying the service it fronts."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], service: ExplanationService):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.explain_lock = threading.Lock()
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def create_server(
+    service: ExplanationService,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+) -> ExplanationServer:
+    """Bind (but do not start) a server; ``port=0`` picks a free port."""
+    return ExplanationServer((host, port), service)
+
+
+def serve(
+    service: ExplanationService,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+) -> None:
+    """Blocking serve loop (Ctrl-C to stop)."""
+    server = create_server(service, host, port)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.server_close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ExplanationServer  # narrowed type
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        route = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if route in ("/", "/health"):
+                self._json(200, self._health())
+            elif route == "/explainers":
+                self._json(200, self._explainers())
+            elif route == "/capabilities":
+                self._json(200, {"table": ExplanationService.capabilities()})
+            elif route == "/views":
+                svc = self.server.service
+                if not svc.has_views:
+                    self._error(404, "no views generated or loaded yet")
+                else:
+                    self._json(200, viewset_to_dict(svc.views))
+            else:
+                self._error(404, f"unknown route {route!r}")
+        except ReproError as exc:
+            self._error(400, str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        route = self.path.split("?", 1)[0].rstrip("/")
+        try:
+            body = self._read_body()
+            if route == "/explain":
+                with self.server.explain_lock:
+                    self._json(200, self._explain(body))
+            elif route == "/query":
+                self._json(200, self._query(body))
+            else:
+                self._error(404, f"unknown route {route!r}")
+        except (ReproError, KeyError, ValueError, TypeError) as exc:
+            self._error(400, f"{type(exc).__name__}: {exc}")
+        except Exception as exc:  # pragma: no cover - defensive
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+    # ------------------------------------------------------------------
+    def _health(self) -> Dict[str, Any]:
+        svc = self.server.service
+        out: Dict[str, Any] = {
+            "status": "ok",
+            "dataset": svc.dataset,
+            "scale": svc.scale,
+            "has_model": svc._model is not None,
+            "has_views": svc.has_views,
+            "last_method": svc.last_method,
+        }
+        if svc.has_views:
+            out["labels"] = [str(l) for l in svc.views.labels]
+            # only report the index when it already exists: a health
+            # probe must stay cheap, and svc.index would eagerly build
+            # posting lists (and lazily load a named dataset)
+            if svc._index is not None:
+                out["index"] = svc._index.index_stats()
+        return out
+
+    @staticmethod
+    def _explainers() -> Dict[str, Any]:
+        return {
+            "explainers": [
+                {
+                    "name": spec.name,
+                    "aliases": list(spec.aliases),
+                    "native_views": spec.native_views,
+                    "takes_config": spec.takes_config,
+                    "description": spec.description,
+                }
+                for spec in explainer_specs()
+            ]
+        }
+
+    def _explain(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        svc = self.server.service
+        method = body.get("method", "gvex-approx")
+        labels = body.get("labels")
+        config: Optional[GvexConfig] = None
+        if body.get("config"):
+            config = GvexConfig.from_dict(body["config"])
+        views = svc.explain(method, labels=labels, config=config)
+        return {
+            "method": svc.last_method,
+            "views": [
+                {
+                    "label": view.label,
+                    "n_subgraphs": len(view.subgraphs),
+                    "n_patterns": len(view.patterns),
+                    "score": view.score,
+                    "compression": view.compression(),
+                }
+                for view in views
+            ],
+        }
+
+    def _query(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        svc = self.server.service
+        specs = body.get("patterns")
+        if specs is None:
+            specs = [body["pattern"]]
+        patterns = [pattern_from_spec(s) for s in specs]
+        query: Query = Q.all(*(Q.pattern(p) for p in patterns))
+        scope = body.get("scope", "explanations")
+        query = query & Q.in_scope(scope)
+        if body.get("label") is not None:
+            query = query & Q.label(body["label"])
+        hits = svc.query(query)
+        # per-label explanation counts of hosts matching ALL requested
+        # patterns (== pattern_statistics for a single pattern), so the
+        # statistics block always describes the same conjunction the
+        # matches do
+        stats_q = Q.all(*(Q.pattern(p) for p in patterns))
+        stats = {
+            str(label): svc.index.count(stats_q & Q.label(label))
+            for label in svc.views.labels
+        }
+        return {
+            "scope": scope,
+            "matches": [
+                {
+                    "label": hit.label,
+                    "graph_index": hit.graph_index,
+                    "in_explanation": hit.in_explanation,
+                }
+                for hit in hits
+            ],
+            "statistics": stats,
+        }
+
+    # ------------------------------------------------------------------
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        data = json.loads(raw.decode("utf-8"))
+        if not isinstance(data, dict):
+            raise ValueError("request body must be a JSON object")
+        return data
+
+    def _json(self, status: int, payload: Dict[str, Any]) -> None:
+        raw = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(raw)))
+        self.end_headers()
+        self.wfile.write(raw)
+
+    def _error(self, status: int, message: str) -> None:
+        self._json(status, {"error": message})
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # keep the CLI/test output clean
+
+
+__all__ = [
+    "ExplanationServer",
+    "create_server",
+    "serve",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+]

@@ -11,19 +11,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.api.registry import build_explainer
 from repro.config import GvexConfig
 from repro.datasets.zoo import TrainedClassifier
-from repro.explainers import (
-    ApproxGvexExplainer,
-    GcfExplainer,
-    GnnExplainer,
-    GStarX,
-    RandomExplainer,
-    StreamGvexExplainer,
-    SubgraphX,
-)
 from repro.explainers.base import Explainer
 from repro.graphs.view import ExplanationSubgraph
 from repro.metrics.conciseness import sparsity
@@ -65,25 +57,33 @@ def bench_config(
     return GvexConfig(theta=theta, radius=radius, gamma=gamma).with_bounds(0, upper)
 
 
+#: bench-scale budget overrides, applied uniformly through the registry
+BENCH_BUDGETS: Dict[str, Dict[str, int]] = {
+    "GE": dict(epochs=50),
+    "SX": dict(rollouts=15, shapley_samples=4),
+    "GX": dict(coalition_samples=16),
+}
+
+
 def make_explainers(
     trained: TrainedClassifier,
     methods: Sequence[str] = METHOD_ORDER,
     config: Optional[GvexConfig] = None,
     seed: int = 0,
 ) -> Dict[str, Explainer]:
-    """Build the requested explainers with bench-scale budgets."""
-    model = trained.model
+    """Build the requested explainers with bench-scale budgets.
+
+    Every method — GVEX and baselines alike — is constructed through
+    the :mod:`repro.api.registry`, so the sweep and a production
+    service build identical explainers.
+    """
     config = config if config is not None else bench_config()
-    factories: Dict[str, Callable[[], Explainer]] = {
-        "AG": lambda: ApproxGvexExplainer(model, config),
-        "SG": lambda: StreamGvexExplainer(model, config, seed=seed),
-        "GE": lambda: GnnExplainer(model, epochs=50, seed=seed),
-        "SX": lambda: SubgraphX(model, rollouts=15, shapley_samples=4, seed=seed),
-        "GX": lambda: GStarX(model, coalition_samples=16, seed=seed),
-        "GCF": lambda: GcfExplainer(model, seed=seed),
-        "RND": lambda: RandomExplainer(model, seed=seed),
+    return {
+        m: build_explainer(
+            m, trained.model, config=config, seed=seed, **BENCH_BUDGETS.get(m, {})
+        )
+        for m in methods
     }
-    return {m: factories[m]() for m in methods}
 
 
 def label_group_indices(
@@ -204,6 +204,7 @@ def timed_explain(
 
 __all__ = [
     "METHOD_ORDER",
+    "BENCH_BUDGETS",
     "bench_config",
     "make_explainers",
     "label_group_indices",

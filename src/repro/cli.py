@@ -1,4 +1,4 @@
-"""Command-line interface.
+"""Command-line interface — a thin shell over :mod:`repro.api`.
 
 Everything a downstream user needs without writing Python::
 
@@ -6,9 +6,17 @@ Everything a downstream user needs without writing Python::
     python -m repro.cli datasets --scale test        # Table 3
     python -m repro.cli train --dataset mutagenicity --out model.npz
     python -m repro.cli explain --dataset mutagenicity --model model.npz \\
-        --method approx --upper 6 --out views.json
+        --method gvex-approx --upper 6 --out views.json
     python -m repro.cli query --views views.json --dataset mutagenicity \\
         --pattern '{"node_types": [1, 2], "edges": [[0, 1, 0]]}'
+    python -m repro.cli serve --dataset mutagenicity --views views.json \\
+        --port 8080
+
+Every subcommand drives the same :class:`repro.api.ExplanationService`
+facade the examples, benchmarks, and HTTP layer use; ``--method``
+accepts any name or alias from the explainer registry (``gvex-approx``,
+``stream``, ``SX``, ...). The supported surface is documented in
+``docs/api.md``.
 """
 
 from __future__ import annotations
@@ -17,8 +25,16 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
+from repro.api import (
+    ExplanationService,
+    Q,
+    create_server,
+    explainer_names,
+    pattern_from_spec,
+)
+from repro.api.server import DEFAULT_HOST, DEFAULT_PORT
 from repro.config import (
     BACKEND_BATCHED,
     STREAM_INC_MODES,
@@ -26,16 +42,13 @@ from repro.config import (
     VERIFIER_BACKENDS,
     GvexConfig,
 )
-from repro.core.approx import ApproxGvex
-from repro.core.streaming import StreamGvex
-from repro.datasets.registry import DATASETS, dataset_info, load_dataset
+from repro.datasets.registry import DATASETS
 from repro.datasets.statistics import statistics_table
-from repro.gnn.model import GnnClassifier
-from repro.gnn.training import train_classifier
-from repro.graphs.io import graph_from_dict, load_views, save_views
 from repro.graphs.pattern import Pattern
 from repro.metrics.capability import capability_table
-from repro.query import ViewIndex
+
+#: exposed for tests that need to discover a ``serve --port 0`` binding
+_SERVE_STATE: Dict[str, object] = {}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,7 +74,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataset_args(p_explain)
     p_explain.add_argument("--model", help=".npz model (default: train fresh)")
     p_explain.add_argument(
-        "--method", choices=["approx", "stream"], default="approx"
+        "--method",
+        default="gvex-approx",
+        type=str.lower,  # registry lookups are case-insensitive (SX == sx)
+        choices=explainer_names(include_aliases=True),
+        metavar="METHOD",
+        help="registry name or alias (gvex-approx, stream, SX, ...); "
+        "'approx' and 'stream' remain as aliases of the GVEX algorithms",
     )
     p_explain.add_argument("--theta", type=float, default=0.08)
     p_explain.add_argument("--radius", type=float, default=0.3)
@@ -87,6 +106,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_explain.add_argument(
         "--labels", type=int, nargs="*", help="labels of interest (default: all)"
     )
+    p_explain.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="fork this many workers for the explanation phase (§A.7)",
+    )
     p_explain.add_argument("--out", required=True, help="output views .json path")
 
     p_query = sub.add_parser("query", help="query saved explanation views")
@@ -106,6 +131,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_query.add_argument("--label", type=int, help="restrict to one label group")
 
+    p_serve = sub.add_parser(
+        "serve", help="serve explain + query over JSON/HTTP (stdlib)"
+    )
+    _add_dataset_args(p_serve)
+    p_serve.add_argument("--model", help=".npz model to preload")
+    p_serve.add_argument("--views", help="views .json to preload")
+    p_serve.add_argument("--host", default=DEFAULT_HOST)
+    p_serve.add_argument("--port", type=int, default=DEFAULT_PORT,
+                         help="TCP port (0 picks a free one)")
+    p_serve.add_argument(
+        "--max-requests",
+        type=int,
+        default=0,
+        help="exit after N requests (0 = serve forever); used by tests",
+    )
+
     return parser
 
 
@@ -120,37 +161,33 @@ def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
 def _load_pattern(spec: str) -> Pattern:
     path = Path(spec)
     raw = path.read_text() if path.exists() else spec
-    data = json.loads(raw)
-    graph = graph_from_dict(
-        {
-            "node_types": data["node_types"],
-            "edges": data.get("edges", []),
-            "directed": data.get("directed", False),
-        }
-    )
-    return Pattern(graph)
+    return pattern_from_spec(json.loads(raw))
 
 
-def _train(args) -> GnnClassifier:
-    info = dataset_info(args.dataset)
-    db = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    model = GnnClassifier(
-        info.n_features,
-        info.n_classes,
-        hidden_dims=tuple(args.hidden) if hasattr(args, "hidden") else (32, 32, 32),
+def _service(args, config: Optional[GvexConfig] = None) -> ExplanationService:
+    return ExplanationService(
+        args.dataset,
+        scale=args.scale,
         seed=args.seed,
+        config=config,
+        hidden_dims=tuple(getattr(args, "hidden", (32, 32, 32))),
     )
-    model, _, metrics = train_classifier(
-        db,
-        model,
-        seed=args.seed,
-        max_epochs=getattr(args, "epochs", 150),
-    )
-    print(
-        f"trained on {args.dataset} ({args.scale}): "
-        + ", ".join(f"{k}={v:.3f}" for k, v in metrics.items())
-    )
-    return model
+
+
+def _attach_model(svc: ExplanationService, args, epochs: int = 150) -> None:
+    """Load ``--model`` when given (must exist), else train in-service."""
+    model_path = getattr(args, "model", None)
+    if model_path:
+        if not Path(model_path).exists():
+            raise SystemExit(f"model file not found: {model_path}")
+        svc.fit_or_load(model_path)
+        return
+    svc.fit_or_load(epochs=epochs)
+    if svc.train_metrics is not None:
+        print(
+            f"trained on {args.dataset} ({args.scale}): "
+            + ", ".join(f"{k}={v:.3f}" for k, v in svc.train_metrics.items())
+        )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -165,17 +202,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if args.command == "train":
-        model = _train(args)
-        model.save(args.out)
+        svc = _service(args)
+        _attach_model(svc, args, epochs=args.epochs)
+        svc.model.save(args.out)
         print(f"saved model to {args.out}")
         return 0
 
     if args.command == "explain":
-        db = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-        if args.model:
-            model = GnnClassifier.load(args.model)
-        else:
-            model = _train(args)
         config = GvexConfig(
             theta=args.theta,
             radius=args.radius,
@@ -183,12 +216,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             verifier_backend=args.backend,
             stream_inc=args.stream_inc,
         ).with_bounds(args.lower, args.upper)
-        labels = args.labels if args.labels else None
-        if args.method == "approx":
-            views = ApproxGvex(model, config, labels=labels).explain(db)
-        else:
-            views = StreamGvex(model, config, labels=labels, seed=args.seed).explain(db)
-        save_views(views, args.out)
+        svc = _service(args, config)
+        _attach_model(svc, args)
+        views = svc.explain(
+            args.method,
+            labels=args.labels if args.labels else None,
+            processes=args.processes,
+        )
+        svc.persist(args.out)
         for view in views:
             print(
                 f"label {view.label}: {len(view.subgraphs)} subgraphs, "
@@ -199,22 +234,48 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if args.command == "query":
-        db = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-        views = load_views(args.views)
-        index = ViewIndex(views, db=db)
+        svc = _service(args)
+        svc.load_views(args.views)
         pattern = _load_pattern(args.pattern)
-        if args.scope == "explanations":
-            hits = index.explanations_containing(pattern, label=args.label)
-        else:
-            hits = index.graphs_containing(pattern, label=args.label)
+        query = Q.pattern(pattern) & Q.in_scope(args.scope)
+        if args.label is not None:
+            query = query & Q.label(args.label)
+        hits = svc.query(query)
         print(f"{len(hits)} match(es) for pattern ({pattern.n_nodes} nodes, "
               f"{pattern.n_edges} edges), scope={args.scope}")
         for hit in hits:
             where = "explanation" if hit.in_explanation else "graph"
             print(f"  label={hit.label} graph={hit.graph_index} ({where})")
-        stats = index.pattern_statistics(pattern)
+        stats = svc.index.pattern_statistics(pattern)
         print("per-label explanation counts: "
               + ", ".join(f"{l}: {c}" for l, c in sorted(stats.items())))
+        return 0
+
+    if args.command == "serve":
+        svc = _service(args)
+        if args.model:
+            _attach_model(svc, args)
+        if args.views:
+            svc.load_views(args.views)
+        server = create_server(svc, host=args.host, port=args.port)
+        _SERVE_STATE["server"] = server
+        print(f"serving {args.dataset} ({args.scale}) on {server.url}")
+        print("routes: GET /health /explainers /capabilities /views | "
+              "POST /explain /query")
+        try:
+            if args.max_requests > 0:
+                # non-daemon handlers: server_close() then joins them, so
+                # the final response finishes before the process exits
+                server.daemon_threads = False
+                for _ in range(args.max_requests):
+                    server.handle_request()
+            else:  # pragma: no cover - interactive loop
+                server.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+        finally:
+            server.server_close()
+            _SERVE_STATE.pop("server", None)
         return 0
 
     return 1  # pragma: no cover - argparse enforces valid commands

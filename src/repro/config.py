@@ -9,8 +9,8 @@ mode of Procedure ``VpExtend`` (DESIGN.md §3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Hashable, Mapping, Optional, Tuple
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Hashable, Mapping, Optional, Tuple
 
 from repro.exceptions import ConfigurationError
 
@@ -206,6 +206,52 @@ class GvexConfig:
     def with_bounds(self, lower: int, upper: int) -> "GvexConfig":
         """Return a copy whose *default* coverage is ``[lower, upper]``."""
         return replace(self, default_coverage=CoverageConstraint(lower, upper))
+
+    # ------------------------------------------------------------------
+    # wire format (used by the service / HTTP layer)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation; inverse of :meth:`from_dict`."""
+        out: Dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "coverage":
+                out[f.name] = {
+                    str(label): list(c.as_tuple()) for label, c in value.items()
+                }
+            elif f.name == "default_coverage":
+                out[f.name] = list(value.as_tuple())
+            else:
+                out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "GvexConfig":
+        """Build a config from a plain-JSON dict (unknown keys rejected).
+
+        Coverage labels arrive as JSON object keys (strings); integer
+        labels are converted back so lookups keep working.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown GvexConfig fields: {sorted(unknown)}"
+            )
+        kwargs: Dict[str, Any] = dict(data)
+        if "coverage" in kwargs:
+            coverage: Dict[Hashable, CoverageConstraint] = {}
+            for label, bounds in (kwargs["coverage"] or {}).items():
+                if isinstance(label, str) and label.lstrip("-").isdigit():
+                    label = int(label)
+                coverage[label] = CoverageConstraint(int(bounds[0]), int(bounds[1]))
+            kwargs["coverage"] = coverage
+        if "default_coverage" in kwargs and not isinstance(
+            kwargs["default_coverage"], CoverageConstraint
+        ):
+            lower, upper = kwargs["default_coverage"]
+            kwargs["default_coverage"] = CoverageConstraint(int(lower), int(upper))
+        return cls(**kwargs)
 
 
 DEFAULT_CONFIG = GvexConfig()

@@ -5,6 +5,13 @@ parallelizes trivially. Workers are forked with the model/config set
 once via a pool initializer (numpy weights are shared copy-on-write),
 so per-task overhead is one pickled graph index.
 
+Any explainer registered in :mod:`repro.api.registry` can be
+distributed: GVEX's ApproxGVEX keeps its fast path (the core
+``explain_graph`` with inference-call accounting); other methods are
+built once per worker via ``build_explainer`` and driven through the
+uniform ``explain_graph`` interface. Pattern summarization (Psum) runs
+in the parent either way, since it needs the whole label group.
+
 Falls back to the serial path when ``processes <= 1`` or when the
 platform cannot fork.
 """
@@ -12,25 +19,45 @@ platform cannot fork.
 from __future__ import annotations
 
 import multiprocessing as mp
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.config import GvexConfig
 from repro.core.approx import ApproxGvex, explain_graph
+from repro.exceptions import RegistryError
 from repro.core.psum import summarize
 from repro.gnn.model import GnnClassifier
 from repro.graphs.database import GraphDatabase
 from repro.graphs.view import ExplanationSubgraph, ExplanationView, ViewSet
 
+#: registry name whose parallel path uses the core ApproxGVEX kernel
+_APPROX = "gvex-approx"
+
 _WORKER_MODEL: Optional[GnnClassifier] = None
 _WORKER_CONFIG: Optional[GvexConfig] = None
 _WORKER_DB: Optional[GraphDatabase] = None
+_WORKER_EXPLAINER = None  # non-approx methods: built once per worker
 
 
-def _init_worker(model: GnnClassifier, config: GvexConfig, db: GraphDatabase) -> None:
-    global _WORKER_MODEL, _WORKER_CONFIG, _WORKER_DB
+def _init_worker(
+    model: GnnClassifier,
+    config: GvexConfig,
+    db: GraphDatabase,
+    method: str = _APPROX,
+    seed: int = 0,
+    explainer_kwargs: Optional[Mapping] = None,
+) -> None:
+    global _WORKER_MODEL, _WORKER_CONFIG, _WORKER_DB, _WORKER_EXPLAINER
     _WORKER_MODEL = model
     _WORKER_CONFIG = config
     _WORKER_DB = db
+    if method == _APPROX:
+        _WORKER_EXPLAINER = None
+    else:
+        from repro.api.registry import build_explainer
+
+        _WORKER_EXPLAINER = build_explainer(
+            method, model, config=config, seed=seed, **(explainer_kwargs or {})
+        )
 
 
 def _explain_one(
@@ -39,6 +66,12 @@ def _explain_one(
     index, label = task
     assert _WORKER_MODEL is not None and _WORKER_CONFIG is not None
     assert _WORKER_DB is not None
+    if _WORKER_EXPLAINER is not None:
+        upper = _WORKER_CONFIG.coverage_for(label).upper
+        subgraph = _WORKER_EXPLAINER.explain_graph(
+            _WORKER_DB[index], label=label, max_nodes=upper or None, graph_index=index
+        )
+        return index, label, subgraph, 0
     result = explain_graph(
         _WORKER_MODEL,
         _WORKER_DB[index],
@@ -55,6 +88,28 @@ def _with_stats(views: ViewSet, inference_calls: int, return_stats: bool):
     return views, {"inference_calls": inference_calls}
 
 
+def build_views_from_subgraphs(
+    subgraphs: Dict[int, List[ExplanationSubgraph]],
+    config: GvexConfig,
+    labels: Sequence[int],
+) -> ViewSet:
+    """Assemble two-tier views from per-label explanation subgraphs.
+
+    The parent-side tail of the parallel pipeline: sort by source graph,
+    mine/summarize patterns with Psum, aggregate Eq. 2 scores.
+    """
+    views = ViewSet()
+    for label in labels:
+        subs = sorted(subgraphs.get(label, []), key=lambda s: s.graph_index)
+        view = ExplanationView(label=label, subgraphs=subs)
+        psum = summarize([s.subgraph for s in subs], config)
+        view.patterns = psum.patterns
+        view.edge_loss = psum.edge_loss
+        view.score = sum(s.score for s in subs)
+        views.add(view)
+    return views
+
+
 def explain_database_parallel(
     db: GraphDatabase,
     model: GnnClassifier,
@@ -63,18 +118,31 @@ def explain_database_parallel(
     processes: int = 2,
     predicted: Optional[Sequence[Optional[int]]] = None,
     return_stats: bool = False,
+    method: str = _APPROX,
+    seed: int = 0,
+    explainer_kwargs: Optional[Mapping] = None,
 ):
-    """Parallel ApproxGVEX over a database (per-graph coverage scope).
+    """Parallel view generation over a database (per-graph coverage scope).
 
-    Semantically identical to :meth:`ApproxGvex.explain`; only the
-    explanation phase is distributed — the Psum summarize step runs in
-    the parent (it needs the whole label group's subgraphs). Workers
-    honor ``config.verifier_backend``, so the batched engine composes
-    with multiprocessing. With ``return_stats`` the result is a
-    ``(views, stats)`` pair where ``stats["inference_calls"]`` sums the
-    workers' forward-pass launches.
+    For ``method="gvex-approx"`` this is semantically identical to
+    :meth:`ApproxGvex.explain`; other registry names distribute the
+    uniform ``explain_graph`` interface instead. Only the explanation
+    phase is distributed — the Psum summarize step runs in the parent
+    (it needs the whole label group's subgraphs). Workers honor
+    ``config.verifier_backend``, so the batched engine composes with
+    multiprocessing. With ``return_stats`` the result is a ``(views,
+    stats)`` pair where ``stats["inference_calls"]`` sums the workers'
+    forward-pass launches (approx path only).
     """
+    from repro.api.registry import get_spec
+
     config = config if config is not None else GvexConfig()
+    method = get_spec(method).name
+    if method == _APPROX and explainer_kwargs:
+        raise RegistryError(
+            "the gvex-approx parallel path takes its configuration from "
+            f"GvexConfig, not constructor overrides {sorted(explainer_kwargs)}"
+        )
     if predicted is None:
         predicted = [model.predict(g) for g in db]
 
@@ -86,9 +154,17 @@ def explain_database_parallel(
     wanted = sorted(groups) if labels is None else sorted(set(labels))
 
     def serial_fallback():
-        algo = ApproxGvex(model, config, labels=wanted)
-        views = algo.explain(db, predicted)
-        return _with_stats(views, algo.total_inference_calls, return_stats)
+        if method == _APPROX:
+            algo = ApproxGvex(model, config, labels=wanted)
+            views = algo.explain(db, predicted)
+            return _with_stats(views, algo.total_inference_calls, return_stats)
+        from repro.api.registry import build_explainer
+
+        explainer = build_explainer(
+            method, model, config=config, seed=seed, **(explainer_kwargs or {})
+        )
+        views = explainer.explain_views(db, labels=wanted, config=config)
+        return _with_stats(views, 0, return_stats)
 
     if processes <= 1:
         return serial_fallback()
@@ -102,23 +178,17 @@ def explain_database_parallel(
     total_calls = 0
     subgraphs: Dict[int, List[ExplanationSubgraph]] = {l: [] for l in wanted}
     with ctx.Pool(
-        processes=processes, initializer=_init_worker, initargs=(model, config, db)
+        processes=processes,
+        initializer=_init_worker,
+        initargs=(model, config, db, method, seed, dict(explainer_kwargs or {})),
     ) as pool:
         for index, label, subgraph, calls in pool.map(_explain_one, tasks):
             total_calls += calls
             if subgraph is not None:
                 subgraphs[label].append(subgraph)
 
-    views = ViewSet()
-    for label in wanted:
-        subs = sorted(subgraphs[label], key=lambda s: s.graph_index)
-        view = ExplanationView(label=label, subgraphs=subs)
-        psum = summarize([s.subgraph for s in subs], config)
-        view.patterns = psum.patterns
-        view.edge_loss = psum.edge_loss
-        view.score = sum(s.score for s in subs)
-        views.add(view)
+    views = build_views_from_subgraphs(subgraphs, config, wanted)
     return _with_stats(views, total_calls, return_stats)
 
 
-__all__ = ["explain_database_parallel"]
+__all__ = ["explain_database_parallel", "build_views_from_subgraphs"]

@@ -39,5 +39,13 @@ class MatchingError(ReproError):
     """Problem during subgraph isomorphism / pattern matching."""
 
 
+class QueryError(ReproError):
+    """Malformed view query (bad scope, unsupported composition...)."""
+
+
+class RegistryError(ReproError):
+    """Unknown or misconfigured explainer registry entry."""
+
+
 class MiningError(ReproError):
     """Problem during pattern mining."""

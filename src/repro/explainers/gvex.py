@@ -65,9 +65,10 @@ class ApproxGvexExplainer(Explainer):
         )
         return result.subgraph
 
-    def explain_views(self, db: GraphDatabase) -> ViewSet:
-        """Full two-tier view generation (subgraphs + patterns)."""
-        return ApproxGvex(self.model, self.config).explain(db)
+    def explain_views(self, db: GraphDatabase, labels=None, config=None) -> ViewSet:
+        """Full two-tier view generation (Algorithm 1/2)."""
+        config = config if config is not None else self.config
+        return ApproxGvex(self.model, config, labels=labels).explain(db)
 
 
 class StreamGvexExplainer(Explainer):
@@ -106,8 +107,12 @@ class StreamGvexExplainer(Explainer):
         result = algo.explain_graph_stream(graph, label, graph_index=graph_index)
         return result.subgraph
 
-    def explain_views(self, db: GraphDatabase) -> ViewSet:
-        return StreamGvex(self.model, self.config, seed=self.seed).explain(db)
+    def explain_views(self, db: GraphDatabase, labels=None, config=None) -> ViewSet:
+        """Full two-tier view generation (Algorithm 3)."""
+        config = config if config is not None else self.config
+        return StreamGvex(
+            self.model, config, labels=labels, seed=self.seed
+        ).explain(db)
 
 
 __all__ = ["ApproxGvexExplainer", "StreamGvexExplainer"]

@@ -21,6 +21,12 @@ from repro.graphs.view import ExplanationSubgraph, ExplanationView, ViewSet
 
 PathLike = Union[str, Path]
 
+#: current views wire-format version (``{"schema": 2, "views": [...]}``).
+#: v1 files (no ``"schema"`` key) are still read; unknown future
+#: versions are rejected so the service/HTTP layer never misparses.
+VIEWS_SCHEMA_VERSION = 2
+_READABLE_SCHEMAS = (1, 2)
+
 
 # ----------------------------------------------------------------------
 # graph <-> dict
@@ -83,6 +89,7 @@ def view_to_dict(view: ExplanationView) -> Dict[str, Any]:
     return {
         "label": view.label,
         "score": view.score,
+        "edge_loss": view.edge_loss,
         "subgraphs": [subgraph_to_dict(s) for s in view.subgraphs],
         "patterns": [pattern_to_dict(p) for p in view.patterns],
     }
@@ -92,16 +99,27 @@ def view_from_dict(d: Dict[str, Any]) -> ExplanationView:
     return ExplanationView(
         label=d["label"],
         score=float(d["score"]),
+        # v1 files predate edge_loss serialization
+        edge_loss=float(d.get("edge_loss", 0.0)),
         subgraphs=[subgraph_from_dict(s) for s in d["subgraphs"]],
         patterns=[pattern_from_dict(p) for p in d["patterns"]],
     )
 
 
 def viewset_to_dict(views: ViewSet) -> Dict[str, Any]:
-    return {"views": [view_to_dict(v) for v in views]}
+    return {
+        "schema": VIEWS_SCHEMA_VERSION,
+        "views": [view_to_dict(v) for v in views],
+    }
 
 
 def viewset_from_dict(d: Dict[str, Any]) -> ViewSet:
+    schema = d.get("schema", 1)  # v1 files carry no version marker
+    if schema not in _READABLE_SCHEMAS:
+        raise GraphError(
+            f"unsupported views schema {schema!r}; this build reads "
+            f"versions {_READABLE_SCHEMAS}"
+        )
     vs = ViewSet()
     for item in d["views"]:
         vs.add(view_from_dict(item))
@@ -148,6 +166,7 @@ def load_views(path: PathLike) -> ViewSet:
 
 
 __all__ = [
+    "VIEWS_SCHEMA_VERSION",
     "graph_to_dict",
     "graph_from_dict",
     "pattern_to_dict",

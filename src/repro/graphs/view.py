@@ -77,6 +77,11 @@ class ExplanationView:
     score: float = 0.0
     #: fraction of subgraph edges the patterns fail to cover (Lemma 4.3)
     edge_loss: float = 0.0
+    #: lazily built (n_subgraphs, graph_index -> subgraph) lookup used by
+    #: ``subgraph_for``; invalidated whenever ``subgraphs`` changes length
+    _by_graph_index: Optional[Tuple[int, Dict[int, ExplanationSubgraph]]] = field(
+        default=None, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     @property
@@ -96,10 +101,20 @@ class ExplanationView:
         return sum(p.n_edges for p in self.patterns)
 
     def subgraph_for(self, graph_index: int) -> Optional[ExplanationSubgraph]:
-        for s in self.subgraphs:
-            if s.graph_index == graph_index:
-                return s
-        return None
+        """O(1) lookup of the explanation subgraph for one source graph.
+
+        Backed by a lazily built dict; when several subgraphs share a
+        ``graph_index`` the first one wins, matching the original linear
+        scan's semantics.
+        """
+        cached = self._by_graph_index
+        if cached is None or cached[0] != len(self.subgraphs):
+            lookup: Dict[int, ExplanationSubgraph] = {}
+            for s in self.subgraphs:
+                lookup.setdefault(s.graph_index, s)
+            cached = (len(self.subgraphs), lookup)
+            self._by_graph_index = cached
+        return cached[1].get(graph_index)
 
     def compression(self) -> float:
         """Eq. 11: 1 - (|V_P| + |E_P|) / (|V_S| + |E_S|)."""
@@ -127,6 +142,12 @@ class ViewSet:
 
     def __getitem__(self, label: Hashable) -> ExplanationView:
         return self.views[label]
+
+    def get(
+        self, label: Hashable, default: Optional[ExplanationView] = None
+    ) -> Optional[ExplanationView]:
+        """The view for ``label``, or ``default`` when absent."""
+        return self.views.get(label, default)
 
     def __contains__(self, label: Hashable) -> bool:
         return label in self.views

@@ -1,11 +1,27 @@
-"""Table 1 — the explainer capability matrix, generated from metadata."""
+"""Table 1 — the explainer capability matrix, generated from metadata.
+
+Rows default to the explainer registry's Table 1 members
+(:func:`repro.api.registry.explainer_specs`), so a newly registered
+explainer is constructed, swept, *and* capability-tabled identically;
+``ALL_EXPLAINER_CLASSES`` stays as the registry-free fallback.
+"""
 
 from __future__ import annotations
 
-from typing import List, Sequence, Type
+from typing import List, Optional, Sequence, Type
 
 from repro.explainers import ALL_EXPLAINER_CLASSES
 from repro.explainers.base import Explainer, ExplainerCapabilities
+
+
+def default_capability_classes() -> Sequence[Type[Explainer]]:
+    """Table 1 row classes, sourced from the registry when available."""
+    try:  # lazy: metrics must stay importable without repro.api
+        from repro.api.registry import explainer_specs
+    except ImportError:  # pragma: no cover - bootstrap order only
+        return ALL_EXPLAINER_CLASSES
+    classes = [spec.cls for spec in explainer_specs() if spec.in_table1]
+    return classes or ALL_EXPLAINER_CLASSES
 
 COLUMNS = (
     "Method",
@@ -26,9 +42,11 @@ def _mark(flag: bool) -> str:
 
 
 def capability_rows(
-    classes: Sequence[Type[Explainer]] = ALL_EXPLAINER_CLASSES,
+    classes: Optional[Sequence[Type[Explainer]]] = None,
 ) -> List[List[str]]:
     """Table 1 rows in the paper's column order."""
+    if classes is None:
+        classes = default_capability_classes()
     rows = []
     for cls in classes:
         caps: ExplainerCapabilities = cls.capabilities
@@ -50,7 +68,7 @@ def capability_rows(
 
 
 def capability_table(
-    classes: Sequence[Type[Explainer]] = ALL_EXPLAINER_CLASSES,
+    classes: Optional[Sequence[Type[Explainer]]] = None,
 ) -> str:
     """ASCII rendering of Table 1."""
     rows = [list(COLUMNS)] + capability_rows(classes)
@@ -63,4 +81,9 @@ def capability_table(
     return "\n".join(lines)
 
 
-__all__ = ["capability_rows", "capability_table", "COLUMNS"]
+__all__ = [
+    "capability_rows",
+    "capability_table",
+    "default_capability_classes",
+    "COLUMNS",
+]

@@ -1,5 +1,28 @@
-"""Query layer: explanation views as queryable artifacts."""
+"""Query layer: explanation views as queryable artifacts.
 
+Two surfaces over the same inverted occurrence index:
+
+* the legacy :class:`ViewIndex` methods (``explanations_containing``,
+  ``graphs_containing``, ...), kept as thin equivalence-tested wrappers;
+* the composable DSL — ``index.select(Q.pattern(p) & Q.label(1))`` —
+  in :mod:`repro.query.dsl`.
+"""
+
+from repro.query.dsl import (
+    Q,
+    Query,
+    QUERY_SCOPES,
+    SCOPE_EXPLANATIONS,
+    SCOPE_GRAPHS,
+)
 from repro.query.index import PatternOccurrence, ViewIndex
 
-__all__ = ["ViewIndex", "PatternOccurrence"]
+__all__ = [
+    "ViewIndex",
+    "PatternOccurrence",
+    "Q",
+    "Query",
+    "QUERY_SCOPES",
+    "SCOPE_EXPLANATIONS",
+    "SCOPE_GRAPHS",
+]

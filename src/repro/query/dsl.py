@@ -1,0 +1,188 @@
+"""Composable view-query DSL (the paper's §1 analyst queries as algebra).
+
+Queries are small boolean expression trees over *pattern occurrences*
+``(label, graph_index)``, built from three atoms and combined with
+``&`` (and), ``|`` (or), and ``~`` (not)::
+
+    from repro.query import Q
+
+    Q.pattern(no2) & Q.label(1)                       # toxicophores in mutagens
+    Q.pattern(p22) & Q.label(0) & Q.in_scope("graphs")  # non-mutagen graphs with P22
+    Q.pattern(p) & ~Q.pattern(q)                      # p-but-not-q explanations
+
+A query is *executed* by :meth:`repro.query.ViewIndex.select`, which
+resolves every :func:`Q.pattern` atom against its precomputed inverted
+occurrence index (canonical-pattern-key -> posting lists), so boolean
+composition costs set intersections/unions instead of per-call
+isomorphism scans.
+
+Scope (``"explanations"``, the two-tier view's lower tier, vs
+``"graphs"``, the raw database) is a query-level property: it may only
+appear in positive conjunctive position, and one query may use only one
+scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterator, Tuple
+
+from repro.exceptions import QueryError
+from repro.graphs.pattern import Pattern
+
+#: match against explanation subgraphs (the default)
+SCOPE_EXPLANATIONS = "explanations"
+#: match against full source graphs (requires a database)
+SCOPE_GRAPHS = "graphs"
+
+QUERY_SCOPES = (SCOPE_EXPLANATIONS, SCOPE_GRAPHS)
+
+
+class Query:
+    """Base class for query expression nodes."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "Query") -> "Query":
+        return And(self, _check_query(other))
+
+    def __or__(self, other: "Query") -> "Query":
+        return Or(self, _check_query(other))
+
+    def __invert__(self) -> "Query":
+        return Not(self)
+
+    # ------------------------------------------------------------------
+    def scope(self) -> str:
+        """The single scope this query runs in (default: explanations)."""
+        found = {s for s in self._scopes(positive=True)}
+        if len(found) > 1:
+            raise QueryError(f"query mixes scopes {sorted(found)}")
+        return found.pop() if found else SCOPE_EXPLANATIONS
+
+    def _scopes(self, positive: bool) -> Iterator[str]:
+        """Yield scope atoms, checking they sit in positive conjunctions."""
+        return iter(())
+
+
+def _check_query(obj: object) -> "Query":
+    if not isinstance(obj, Query):
+        raise QueryError(f"cannot combine a query with {type(obj).__name__}")
+    return obj
+
+
+@dataclass(frozen=True)
+class PatternTerm(Query):
+    """Occurrences whose host contains ``pattern`` (induced semantics)."""
+
+    pattern: Pattern
+
+
+@dataclass(frozen=True)
+class LabelTerm(Query):
+    """Occurrences belonging to one class label's group."""
+
+    label: Hashable
+
+
+@dataclass(frozen=True)
+class ScopeTerm(Query):
+    """Select the tier queried: explanation subgraphs or full graphs."""
+
+    value: str
+
+    def __post_init__(self) -> None:
+        if self.value not in QUERY_SCOPES:
+            raise QueryError(
+                f"scope must be one of {QUERY_SCOPES}, got {self.value!r}"
+            )
+
+    def _scopes(self, positive: bool) -> Iterator[str]:
+        if not positive:
+            raise QueryError("scope may not appear under ~ or |")
+        yield self.value
+
+
+@dataclass(frozen=True)
+class And(Query):
+    left: Query
+    right: Query
+
+    def _scopes(self, positive: bool) -> Iterator[str]:
+        yield from self.left._scopes(positive)
+        yield from self.right._scopes(positive)
+
+
+@dataclass(frozen=True)
+class Or(Query):
+    left: Query
+    right: Query
+
+    def _scopes(self, positive: bool) -> Iterator[str]:
+        yield from self.left._scopes(False)
+        yield from self.right._scopes(False)
+
+
+@dataclass(frozen=True)
+class Not(Query):
+    operand: Query
+
+    def _scopes(self, positive: bool) -> Iterator[str]:
+        yield from self.operand._scopes(False)
+
+
+class Q:
+    """Atom factory — the DSL's public entry point."""
+
+    @staticmethod
+    def pattern(pattern: Pattern) -> Query:
+        """Occurrences containing ``pattern`` (subgraph isomorphism)."""
+        if not isinstance(pattern, Pattern):
+            raise QueryError(
+                f"Q.pattern expects a Pattern, got {type(pattern).__name__}"
+            )
+        return PatternTerm(pattern)
+
+    @staticmethod
+    def label(label: Hashable) -> Query:
+        """Occurrences in class ``label``'s group."""
+        return LabelTerm(label)
+
+    @staticmethod
+    def in_scope(scope: str) -> Query:
+        """Pick the tier: ``"explanations"`` (default) or ``"graphs"``."""
+        return ScopeTerm(scope)
+
+    @staticmethod
+    def any(*queries: Query) -> Query:
+        """Disjunction of one or more queries."""
+        return _fold(Or, queries)
+
+    @staticmethod
+    def all(*queries: Query) -> Query:
+        """Conjunction of one or more queries."""
+        return _fold(And, queries)
+
+
+def _fold(op, queries: Tuple[Query, ...]) -> Query:
+    if not queries:
+        raise QueryError("Q.any/Q.all need at least one sub-query")
+    out = _check_query(queries[0])
+    for q in queries[1:]:
+        out = op(out, _check_query(q))
+    return out
+
+
+__all__ = [
+    "Q",
+    "Query",
+    "PatternTerm",
+    "LabelTerm",
+    "ScopeTerm",
+    "And",
+    "Or",
+    "Not",
+    "SCOPE_EXPLANATIONS",
+    "SCOPE_GRAPHS",
+    "QUERY_SCOPES",
+]

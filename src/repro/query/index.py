@@ -3,30 +3,62 @@
 §1 motivates GVEX with analyst queries like *"which toxicophores occur
 in mutagens?"* and *"which nonmutagens contain the toxicophore P22?"*.
 A :class:`ViewIndex` makes a generated (or JSON-loaded)
-:class:`~repro.graphs.view.ViewSet` directly queryable:
+:class:`~repro.graphs.view.ViewSet` directly queryable.
 
-* pattern -> labels / explanation subgraphs / source graphs containing it,
-* label -> its patterns, with occurrence statistics,
-* discriminative patterns: in one label's view but matching no graph of
-  another label,
-* free-form matching of user-supplied patterns against either the
-  explanation tier or the raw database.
+Architecture
+------------
+At build time the index canonicalizes every view pattern (WL key +
+exact-isomorphism disambiguation) and precomputes an **inverted
+occurrence index**: canonical-pattern-key -> posting lists of
+``(label, graph_index)`` per tier. Queries — both the legacy methods
+(:meth:`explanations_containing`, :meth:`graphs_containing`,
+:meth:`discriminative_patterns`, :meth:`pattern_statistics`) and the
+composable DSL executed by :meth:`select` — then reduce to posting-list
+lookups and set algebra instead of per-call ``O(views × subgraphs)``
+isomorphism scans.
 
-Matches are cached per (pattern, host) via the same canonical-pattern
-machinery the matcher uses, so repeated analyst queries stay cheap.
+Patterns never seen before (free-form analyst input) are matched once,
+and their posting lists are memoized under the pattern's canonical key,
+so repeated queries stay cheap. Database-tier posting lists are built
+lazily per pattern because full graphs are much larger than
+explanation subgraphs.
+
+Match results are cached under ``(canonical pattern key, stable host
+key)`` — *not* ``id()`` pairs, which the allocator may reuse after GC.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
+from repro.exceptions import QueryError
 from repro.graphs.database import GraphDatabase
 from repro.graphs.graph import Graph
 from repro.graphs.pattern import Pattern
 from repro.graphs.view import ExplanationView, ViewSet
 from repro.matching.canonical import pattern_identity
 from repro.matching.isomorphism import is_subgraph_isomorphic
+from repro.query.dsl import (
+    SCOPE_EXPLANATIONS,
+    SCOPE_GRAPHS,
+    And,
+    LabelTerm,
+    Not,
+    Or,
+    PatternTerm,
+    Query,
+    ScopeTerm,
+)
+
+from dataclasses import dataclass
+
+#: (WL key, position in the key's exact-isomorphism bucket) — unique
+#: and stable per canonical pattern for the index's lifetime, unlike
+#: ``id()`` which can be recycled.
+CanonKey = Tuple[str, int]
+
+#: stable host identity: ("expl", label, graph_index) or ("db", index)
+HostKey = Tuple
 
 
 @dataclass(frozen=True)
@@ -39,7 +71,7 @@ class PatternOccurrence:
 
 
 class ViewIndex:
-    """Queryable index over a set of explanation views.
+    """Queryable inverted index over a set of explanation views.
 
     Parameters
     ----------
@@ -55,11 +87,34 @@ class ViewIndex:
         self.views = views
         self.db = db
         self._identity: Dict[str, List[Pattern]] = {}
-        self._match_cache: Dict[Tuple[int, int], bool] = {}
-        # register every view pattern so isomorphic duplicates unify
+        self._match_cache: Dict[Tuple[CanonKey, HostKey], bool] = {}
+        #: canonical key -> labels whose *pattern tier* contains it
+        self._pattern_labels: Dict[CanonKey, Set[Hashable]] = {}
+        #: canonical key -> {label: [graph_index, ...]} over explanation
+        #: subgraphs (posting lists in view/subgraph order)
+        self._expl_postings: Dict[CanonKey, Dict[Hashable, List[int]]] = {}
+        #: canonical key -> [(label-or-None, db index), ...] in db order
+        self._graph_postings: Dict[CanonKey, List[Tuple[Optional[Hashable], int]]] = {}
+        #: db index -> label of the view whose explanation covers it
+        self._group_of: Dict[int, Hashable] = {}
+        for view in views:
+            for sub in view.subgraphs:
+                self._group_of.setdefault(sub.graph_index, view.label)
+
+        # register every view pattern so isomorphic duplicates unify,
+        # then build the explanation-tier posting lists eagerly: this is
+        # a one-time patterns × subgraphs matching pass, after which
+        # every query is a dict lookup.
+        build_order: List[Tuple[Pattern, CanonKey]] = []
         for view in views:
             for p in view.patterns:
-                pattern_identity(p, self._identity)
+                canon, key = self._canon(p)
+                self._pattern_labels.setdefault(key, set()).add(view.label)
+                if key not in self._expl_postings:
+                    self._expl_postings[key] = {}  # placeholder keeps order
+                    build_order.append((canon, key))
+        for canon, key in build_order:
+            self._expl_postings[key] = self._scan_explanations(canon, key)
 
     # ------------------------------------------------------------------
     # label-centric queries
@@ -75,16 +130,13 @@ class ViewIndex:
         return list(self.views[label].subgraphs)
 
     # ------------------------------------------------------------------
-    # pattern-centric queries
+    # pattern-centric queries (thin wrappers over the inverted index)
     # ------------------------------------------------------------------
     def labels_with_pattern(self, pattern: Pattern) -> List[Hashable]:
         """Labels whose view contains a pattern isomorphic to ``pattern``."""
-        canon = self._canon(pattern)
-        out = []
-        for view in self.views:
-            if any(self._canon(p) is canon for p in view.patterns):
-                out.append(view.label)
-        return out
+        _, key = self._canon(pattern)
+        members = self._pattern_labels.get(key, set())
+        return [view.label for view in self.views if view.label in members]
 
     def explanations_containing(
         self, pattern: Pattern, label: Optional[Hashable] = None
@@ -94,15 +146,13 @@ class ViewIndex:
         This is the paper's "which toxicophores occur in mutagens?"
         query: pass the toxicophore pattern and ``label='mutagen'``.
         """
+        postings = self._expl_postings_for(pattern)
         out: List[PatternOccurrence] = []
         for view in self.views:
             if label is not None and view.label != label:
                 continue
-            for sub in view.subgraphs:
-                if self._matches(pattern, sub.subgraph):
-                    out.append(
-                        PatternOccurrence(view.label, sub.graph_index, True)
-                    )
+            for gidx in postings.get(view.label, ()):
+                out.append(PatternOccurrence(view.label, gidx, True))
         return out
 
     def graphs_containing(
@@ -114,20 +164,12 @@ class ViewIndex:
         query — it runs against whole graphs, not explanations, so it
         also finds occurrences the explainer did not select.
         """
-        if self.db is None:
-            raise ValueError("graphs_containing requires a source database")
-        group_of: Dict[int, Hashable] = {}
-        for view in self.views:
-            for sub in view.subgraphs:
-                group_of[sub.graph_index] = view.label
-        out: List[PatternOccurrence] = []
-        for idx, graph in enumerate(self.db.graphs):
-            g_label = group_of.get(idx)
-            if label is not None and g_label != label:
-                continue
-            if self._matches(pattern, graph):
-                out.append(PatternOccurrence(g_label, idx, False))
-        return out
+        postings = self._graph_postings_for(pattern)
+        return [
+            PatternOccurrence(g_label, idx, False)
+            for g_label, idx in postings
+            if label is None or g_label == label
+        ]
 
     # ------------------------------------------------------------------
     # cross-label analysis
@@ -138,35 +180,165 @@ class ViewIndex:
         """Patterns of ``target``'s view matching no explanation of
         ``against`` — the paper's "representative substructures that
         distinguish mutagens from nonmutagens" (P12 in Example 1.1)."""
-        other_subs = [s.subgraph for s in self.views[against].subgraphs]
+        self.views[against]  # unknown labels raise KeyError, not match-all
         out = []
         for p in self.views[target].patterns:
-            if not any(self._matches(p, host) for host in other_subs):
+            if not self._expl_postings_for(p).get(against):
                 out.append(p)
         return out
 
     def pattern_statistics(self, pattern: Pattern) -> Dict[Hashable, int]:
         """How many explanations per label contain the pattern."""
-        stats: Dict[Hashable, int] = {}
-        for view in self.views:
-            count = sum(
-                1
-                for sub in view.subgraphs
-                if self._matches(pattern, sub.subgraph)
-            )
-            stats[view.label] = count
-        return stats
+        postings = self._expl_postings_for(pattern)
+        return {
+            view.label: len(postings.get(view.label, ()))
+            for view in self.views
+        }
 
     # ------------------------------------------------------------------
-    def _canon(self, pattern: Pattern) -> Pattern:
-        return pattern_identity(pattern, self._identity)
+    # composable query execution (repro.query.dsl)
+    # ------------------------------------------------------------------
+    def select(self, query: Query) -> List[PatternOccurrence]:
+        """Execute a :class:`~repro.query.dsl.Query` expression.
 
-    def _matches(self, pattern: Pattern, host: Graph) -> bool:
-        canon = self._canon(pattern)
-        key = (id(canon), id(host))
-        if key not in self._match_cache:
-            self._match_cache[key] = is_subgraph_isomorphic(canon, host)
-        return self._match_cache[key]
+        Pattern atoms resolve to posting lists from the inverted index;
+        ``&``/``|``/``~`` become set algebra over ``(label,
+        graph_index)`` occurrence keys. Results are ordered like the
+        legacy methods: view/subgraph order for the explanation tier,
+        database order for the graph tier.
+        """
+        if not isinstance(query, Query):
+            raise QueryError(f"select expects a Query, got {type(query).__name__}")
+        scope = query.scope()
+        universe = self._universe(scope)
+        universe_set = set(universe)
+        keys = self._evaluate(query, scope, universe_set)
+        in_expl = scope == SCOPE_EXPLANATIONS
+        return [
+            PatternOccurrence(label, gidx, in_expl)
+            for label, gidx in universe
+            if (label, gidx) in keys
+        ]
+
+    def count(self, query: Query) -> int:
+        """Number of occurrences matching ``query``."""
+        return len(self.select(query))
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _canon(self, pattern: Pattern) -> Tuple[Pattern, CanonKey]:
+        """Canonical representative + stable canonical key."""
+        canon = pattern_identity(pattern, self._identity)
+        wl_key = canon.key()
+        bucket = self._identity[wl_key]
+        for pos, candidate in enumerate(bucket):
+            if candidate is canon:
+                return canon, (wl_key, pos)
+        raise AssertionError("canonical pattern missing from its bucket")
+
+    def _matches(
+        self, canon: Pattern, key: CanonKey, host: Graph, host_key: HostKey
+    ) -> bool:
+        cache_key = (key, host_key)
+        cached = self._match_cache.get(cache_key)
+        if cached is None:
+            cached = is_subgraph_isomorphic(canon, host)
+            self._match_cache[cache_key] = cached
+        return cached
+
+    def _scan_explanations(
+        self, canon: Pattern, key: CanonKey
+    ) -> Dict[Hashable, List[int]]:
+        """Posting lists over the explanation tier, in view order."""
+        out: Dict[Hashable, List[int]] = {}
+        for view in self.views:
+            out[view.label] = [
+                sub.graph_index
+                for sub in view.subgraphs
+                if self._matches(
+                    canon, key, sub.subgraph,
+                    ("expl", view.label, sub.graph_index),
+                )
+            ]
+        return out
+
+    def _expl_postings_for(self, pattern: Pattern) -> Dict[Hashable, List[int]]:
+        canon, key = self._canon(pattern)
+        postings = self._expl_postings.get(key)
+        if postings is None:
+            postings = self._scan_explanations(canon, key)
+            self._expl_postings[key] = postings
+        return postings
+
+    def _graph_postings_for(
+        self, pattern: Pattern
+    ) -> List[Tuple[Optional[Hashable], int]]:
+        if self.db is None:
+            raise ValueError("graph-scope queries require a source database")
+        canon, key = self._canon(pattern)
+        postings = self._graph_postings.get(key)
+        if postings is None:
+            postings = [
+                (self._group_of.get(idx), idx)
+                for idx, graph in enumerate(self.db.graphs)
+                if self._matches(canon, key, graph, ("db", idx))
+            ]
+            self._graph_postings[key] = postings
+        return postings
+
+    def _universe(self, scope: str) -> List[Tuple[Optional[Hashable], int]]:
+        if scope == SCOPE_EXPLANATIONS:
+            return [
+                (view.label, sub.graph_index)
+                for view in self.views
+                for sub in view.subgraphs
+            ]
+        if self.db is None:
+            raise ValueError("graph-scope queries require a source database")
+        return [(self._group_of.get(idx), idx) for idx in range(len(self.db.graphs))]
+
+    def _evaluate(
+        self, node: Query, scope: str, universe: Set[Tuple[Optional[Hashable], int]]
+    ) -> Set[Tuple[Optional[Hashable], int]]:
+        if isinstance(node, PatternTerm):
+            if scope == SCOPE_EXPLANATIONS:
+                postings = self._expl_postings_for(node.pattern)
+                return {
+                    (label, gidx)
+                    for label, gidxs in postings.items()
+                    for gidx in gidxs
+                }
+            return set(self._graph_postings_for(node.pattern))
+        if isinstance(node, LabelTerm):
+            return {key for key in universe if key[0] == node.label}
+        if isinstance(node, ScopeTerm):
+            return set(universe)  # scope was handled at query level
+        if isinstance(node, And):
+            return self._evaluate(node.left, scope, universe) & self._evaluate(
+                node.right, scope, universe
+            )
+        if isinstance(node, Or):
+            return self._evaluate(node.left, scope, universe) | self._evaluate(
+                node.right, scope, universe
+            )
+        if isinstance(node, Not):
+            return universe - self._evaluate(node.operand, scope, universe)
+        raise QueryError(f"unsupported query node {type(node).__name__}")
+
+    # ------------------------------------------------------------------
+    def index_stats(self) -> Dict[str, int]:
+        """Size of the inverted index (for /health and diagnostics)."""
+        return {
+            "patterns": len(self._expl_postings),
+            "explanation_postings": sum(
+                len(gidxs)
+                for postings in self._expl_postings.values()
+                for gidxs in postings.values()
+            ),
+            "graph_postings": sum(len(p) for p in self._graph_postings.values()),
+            "match_cache": len(self._match_cache),
+        }
 
 
-__all__ = ["ViewIndex", "PatternOccurrence"]
+__all__ = ["ViewIndex", "PatternOccurrence", "CanonKey"]

@@ -1,11 +1,44 @@
 """Tests for the command-line interface."""
 
 import json
+import os
+import re
+import threading
+import time
+import urllib.request
+from pathlib import Path
 
 import pytest
 
-from repro.cli import main
+from repro.cli import _SERVE_STATE, main
 from repro.graphs.io import load_views
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REGEN = bool(os.environ.get("REPRO_REGEN_GOLDEN"))
+
+
+def _normalize(out: str) -> str:
+    """Strip run-dependent pieces (tmp paths, timings) from CLI output."""
+    out = re.sub(r"(/[\w./-]*?/)?[\w-]+\.(json|npz)", "<PATH>", out)
+    return out.strip() + "\n"
+
+
+def check_cli_golden(name: str, out: str) -> None:
+    path = GOLDEN_DIR / f"{name}.txt"
+    normalized = _normalize(out)
+    if REGEN:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(normalized)
+        return
+    if not path.exists():
+        pytest.fail(
+            f"golden CLI snapshot {path} missing — regenerate with "
+            "REPRO_REGEN_GOLDEN=1"
+        )
+    assert normalized == path.read_text(), (
+        f"CLI output drift against {path.name}; if intentional, regenerate "
+        "with REPRO_REGEN_GOLDEN=1 and review the diff"
+    )
 
 
 class TestStaticCommands:
@@ -24,40 +57,41 @@ class TestStaticCommands:
             main(["train", "--dataset", "bogus", "--out", "x.npz"])
 
 
-class TestPipeline:
-    @pytest.fixture(scope="class")
-    def artifacts(self, tmp_path_factory):
-        tmp = tmp_path_factory.mktemp("cli")
-        model_path = tmp / "model.npz"
-        views_path = tmp / "views.json"
-        assert (
-            main(
-                [
-                    "train",
-                    "--dataset", "pcqm4m",
-                    "--scale", "test",
-                    "--out", str(model_path),
-                    "--hidden", "16", "16",
-                    "--epochs", "80",
-                ]
-            )
-            == 0
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("cli")
+    model_path = tmp / "model.npz"
+    views_path = tmp / "views.json"
+    assert (
+        main(
+            [
+                "train",
+                "--dataset", "pcqm4m",
+                "--scale", "test",
+                "--out", str(model_path),
+                "--hidden", "16", "16",
+                "--epochs", "80",
+            ]
         )
-        assert (
-            main(
-                [
-                    "explain",
-                    "--dataset", "pcqm4m",
-                    "--scale", "test",
-                    "--model", str(model_path),
-                    "--upper", "5",
-                    "--out", str(views_path),
-                ]
-            )
-            == 0
+        == 0
+    )
+    assert (
+        main(
+            [
+                "explain",
+                "--dataset", "pcqm4m",
+                "--scale", "test",
+                "--model", str(model_path),
+                "--upper", "5",
+                "--out", str(views_path),
+            ]
         )
-        return model_path, views_path
+        == 0
+    )
+    return model_path, views_path
 
+
+class TestPipeline:
     def test_artifacts_created(self, artifacts):
         model_path, views_path = artifacts
         assert model_path.exists()
@@ -107,6 +141,77 @@ class TestPipeline:
         assert "match(es)" in out
         assert "per-label explanation counts" in out
 
+    def test_explain_golden_output(self, artifacts, tmp_path, capsys):
+        """Golden snapshot of the `explain` subcommand's stdout."""
+        model_path, _ = artifacts
+        out_path = tmp_path / "golden_views.json"
+        capsys.readouterr()  # drop fixture noise
+        assert (
+            main(
+                [
+                    "explain",
+                    "--dataset", "pcqm4m",
+                    "--scale", "test",
+                    "--model", str(model_path),
+                    "--upper", "5",
+                    "--out", str(out_path),
+                ]
+            )
+            == 0
+        )
+        check_cli_golden("cli_explain", capsys.readouterr().out)
+
+    def test_query_golden_output(self, artifacts, capsys):
+        """Golden snapshot of the `query` subcommand's stdout."""
+        _, views_path = artifacts
+        pattern = json.dumps({"node_types": [0, 0], "edges": [[0, 1, 0]]})
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "query",
+                    "--dataset", "pcqm4m",
+                    "--scale", "test",
+                    "--views", str(views_path),
+                    "--pattern", pattern,
+                ]
+            )
+            == 0
+        )
+        check_cli_golden("cli_query", capsys.readouterr().out)
+
+    def test_explain_with_registry_alias(self, artifacts, tmp_path, capsys):
+        """--method accepts any registry name/alias, not just approx/stream."""
+        model_path, _ = artifacts
+        out = tmp_path / "rnd_views.json"
+        assert (
+            main(
+                [
+                    "explain",
+                    "--dataset", "pcqm4m",
+                    "--scale", "test",
+                    "--model", str(model_path),
+                    "--method", "RND",  # case-insensitive registry alias
+                    "--upper", "4",
+                    "--out", str(out),
+                ]
+            )
+            == 0
+        )
+        views = load_views(out)
+        assert all(s.n_nodes <= 4 for v in views for s in v.subgraphs)
+
+    def test_missing_model_file_is_an_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "explain",
+                    "--dataset", "pcqm4m",
+                    "--model", str(tmp_path / "nope.npz"),
+                    "--out", str(tmp_path / "v.json"),
+                ]
+            )
+
     def test_query_pattern_file_and_graph_scope(self, artifacts, tmp_path, capsys):
         _, views_path = artifacts
         pattern_file = tmp_path / "pattern.json"
@@ -128,3 +233,55 @@ class TestPipeline:
         )
         out = capsys.readouterr().out
         assert "scope=graphs" in out
+
+
+class TestServe:
+    def test_serve_answers_http_round_trip(self, artifacts, capsys):
+        """`repro.cli serve` handles health + query over a live socket."""
+        model_path, views_path = artifacts
+        _SERVE_STATE.pop("server", None)
+        result = {}
+
+        def run():
+            result["code"] = main(
+                [
+                    "serve",
+                    "--dataset", "pcqm4m",
+                    "--scale", "test",
+                    "--model", str(model_path),
+                    "--views", str(views_path),
+                    "--port", "0",
+                    "--max-requests", "2",
+                ]
+            )
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        deadline = time.time() + 30
+        while "server" not in _SERVE_STATE and time.time() < deadline:
+            time.sleep(0.02)
+        server = _SERVE_STATE.get("server")
+        assert server is not None, "serve did not bind within 30s"
+        base = server.url
+
+        with urllib.request.urlopen(base + "/health", timeout=10) as r:
+            health = json.loads(r.read())
+        assert health["status"] == "ok"
+        assert health["has_views"] is True  # --views preloaded
+
+        req = urllib.request.Request(
+            base + "/query",
+            data=json.dumps(
+                {"pattern": {"node_types": [0, 0], "edges": [[0, 1, 0]]}}
+            ).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(req, timeout=10) as r:
+            query = json.loads(r.read())
+        assert "matches" in query and "statistics" in query
+
+        thread.join(timeout=30)
+        assert result.get("code") == 0  # exited after --max-requests
+        out = capsys.readouterr().out
+        assert "serving pcqm4m" in out
+        assert "/explain /query" in out

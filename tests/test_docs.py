@@ -23,6 +23,7 @@ def _checker():
 
 def test_readme_and_docs_exist():
     assert (REPO / "README.md").exists()
+    assert (REPO / "docs" / "api.md").exists()
     assert (REPO / "docs" / "streaming.md").exists()
     assert (REPO / "docs" / "verification.md").exists()
 
@@ -32,6 +33,17 @@ def test_streaming_doc_cross_links_verification():
     verification = (REPO / "docs" / "verification.md").read_text()
     assert "verification.md" in streaming
     assert "streaming.md" in verification
+
+
+def test_api_doc_cross_linked():
+    """docs/api.md is reachable from the README and both design docs."""
+    for name in ("README.md", "docs/streaming.md", "docs/verification.md"):
+        assert "api.md" in (REPO / name).read_text(), f"{name} must link api.md"
+    api = (REPO / "docs" / "api.md").read_text()
+    assert "ExplanationService" in api
+    assert "register_explainer" in api
+    assert "Q.pattern" in api
+    assert "Deprecation policy" in api
 
 
 def test_no_broken_intra_repo_links():

@@ -1,7 +1,11 @@
 """Unit tests for repro.graphs.generators, io, and convert."""
 
+import json
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.exceptions import GraphError
 from repro.graphs import generators as gen
@@ -135,6 +139,117 @@ class TestIo:
         assert got.subgraphs[0].nodes == (2, 5)
         assert got.subgraphs[0].consistent and not got.subgraphs[0].counterfactual
         assert got.patterns[0].key() == view.patterns[0].key()
+
+
+class TestViewsSchema:
+    """The versioned views wire format (schema 2, v1 read-compat)."""
+
+    def test_writes_current_schema_marker(self):
+        d = io.viewset_to_dict(ViewSet())
+        assert d["schema"] == io.VIEWS_SCHEMA_VERSION == 2
+
+    def test_v1_files_without_marker_still_load(self):
+        sub = graph_from_edges([0, 1], [(0, 1)])
+        view = ExplanationView(
+            label=1,
+            score=2.0,
+            subgraphs=[ExplanationSubgraph(0, (0, 1), sub, consistent=True)],
+            patterns=[Pattern.from_parts([0, 1], [(0, 1)])],
+        )
+        vs = ViewSet()
+        vs.add(view)
+        v1 = io.viewset_to_dict(vs)
+        del v1["schema"]
+        for item in v1["views"]:
+            del item["edge_loss"]  # v1 predates edge_loss serialization
+        loaded = io.viewset_from_dict(v1)
+        assert loaded[1].score == 2.0
+        assert loaded[1].edge_loss == 0.0
+
+    def test_unknown_future_schema_rejected(self):
+        from repro.exceptions import GraphError
+
+        with pytest.raises(GraphError):
+            io.viewset_from_dict({"schema": 99, "views": []})
+
+    def test_schema2_preserves_edge_loss(self):
+        vs = ViewSet()
+        vs.add(ExplanationView(label=0, edge_loss=0.25))
+        assert io.viewset_from_dict(io.viewset_to_dict(vs))[0].edge_loss == 0.25
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_property(self, data):
+        """Any generated view set survives dict -> JSON -> dict intact."""
+        vs = ViewSet()
+        n_views = data.draw(st.integers(0, 3))
+        for label in range(n_views):
+            n_subs = data.draw(st.integers(0, 3))
+            subgraphs = []
+            for s in range(n_subs):
+                n = data.draw(st.integers(1, 4))
+                types = data.draw(
+                    st.lists(st.integers(0, 3), min_size=n, max_size=n)
+                )
+                edges = [(i, i + 1) for i in range(n - 1)]
+                g = graph_from_edges(types, edges)
+                nodes = tuple(
+                    sorted(
+                        data.draw(
+                            st.sets(st.integers(0, 30), min_size=n, max_size=n)
+                        )
+                    )
+                )
+                subgraphs.append(
+                    ExplanationSubgraph(
+                        graph_index=s,
+                        nodes=nodes,
+                        subgraph=g,
+                        consistent=data.draw(st.booleans()),
+                        counterfactual=data.draw(st.booleans()),
+                        score=data.draw(
+                            st.floats(0, 10, allow_nan=False).map(
+                                lambda x: round(x, 6)
+                            )
+                        ),
+                    )
+                )
+            patterns = []
+            if subgraphs:
+                patterns.append(Pattern.from_induced(subgraphs[0].subgraph,
+                                                     [0]))
+            vs.add(
+                ExplanationView(
+                    label=label,
+                    subgraphs=subgraphs,
+                    patterns=patterns,
+                    score=data.draw(
+                        st.floats(0, 100, allow_nan=False).map(
+                            lambda x: round(x, 6)
+                        )
+                    ),
+                    edge_loss=data.draw(
+                        st.floats(0, 1, allow_nan=False).map(
+                            lambda x: round(x, 6)
+                        )
+                    ),
+                )
+            )
+        wire = json.loads(json.dumps(io.viewset_to_dict(vs)))
+        loaded = io.viewset_from_dict(wire)
+        assert loaded.labels == vs.labels
+        for label in vs.labels:
+            a, b = vs[label], loaded[label]
+            assert a.score == b.score and a.edge_loss == b.edge_loss
+            assert [p.key() for p in a.patterns] == [p.key() for p in b.patterns]
+            assert len(a.subgraphs) == len(b.subgraphs)
+            for sa, sb in zip(a.subgraphs, b.subgraphs):
+                assert sa.nodes == sb.nodes
+                assert sa.graph_index == sb.graph_index
+                assert sa.subgraph == sb.subgraph
+                assert sa.consistent == sb.consistent
+                assert sa.counterfactual == sb.counterfactual
+                assert sa.score == sb.score
 
 
 class TestConvert:

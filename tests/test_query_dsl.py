@@ -1,0 +1,362 @@
+"""Equivalence + semantics suite for the query redesign.
+
+Every legacy :class:`ViewIndex` method must return *identical* results
+to (a) a naive reference that reproduces the seed implementation's
+per-call isomorphism scans, and (b) its DSL/inverted-index
+replacement — across a zoo of datasets (trained mutagenicity motif
+model + three seeded generators). Plus: DSL algebra semantics, scope
+rules, and the stable (non-``id()``) match-cache keys.
+"""
+
+from __future__ import annotations
+
+import gc
+
+import pytest
+
+from repro.config import GvexConfig
+from repro.core.approx import ApproxGvex, explain_database
+from repro.datasets.registry import load_dataset
+from repro.exceptions import QueryError
+from repro.gnn.model import GnnClassifier
+from repro.graphs.pattern import Pattern
+from repro.matching.canonical import pattern_identity
+from repro.matching.isomorphism import is_subgraph_isomorphic
+from repro.query import Q, ViewIndex
+from repro.query.dsl import SCOPE_EXPLANATIONS, SCOPE_GRAPHS
+
+from tests.conftest import N, O
+
+
+# ----------------------------------------------------------------------
+# naive reference: the seed implementation's per-call scans
+# ----------------------------------------------------------------------
+def naive_explanations_containing(views, pattern, label=None):
+    out = []
+    for view in views:
+        if label is not None and view.label != label:
+            continue
+        for sub in view.subgraphs:
+            if is_subgraph_isomorphic(pattern, sub.subgraph):
+                out.append((view.label, sub.graph_index, True))
+    return out
+
+
+def naive_graphs_containing(views, db, pattern, label=None):
+    group_of = {}
+    for view in views:
+        for sub in view.subgraphs:
+            group_of.setdefault(sub.graph_index, view.label)
+    out = []
+    for idx, graph in enumerate(db.graphs):
+        g_label = group_of.get(idx)
+        if label is not None and g_label != label:
+            continue
+        if is_subgraph_isomorphic(pattern, graph):
+            out.append((g_label, idx, False))
+    return out
+
+
+def naive_discriminative(views, target, against):
+    other = [s.subgraph for s in views[against].subgraphs]
+    return [
+        p
+        for p in views[target].patterns
+        if not any(is_subgraph_isomorphic(p, host) for host in other)
+    ]
+
+
+def naive_statistics(views, pattern):
+    return {
+        view.label: sum(
+            1
+            for sub in view.subgraphs
+            if is_subgraph_isomorphic(pattern, sub.subgraph)
+        )
+        for view in views
+    }
+
+
+def naive_labels_with_pattern(views, pattern):
+    identity = {}
+    for view in views:
+        for p in view.patterns:
+            pattern_identity(p, identity)
+    canon = pattern_identity(pattern, identity)
+    return [
+        view.label
+        for view in views
+        if any(pattern_identity(p, identity) is canon for p in view.patterns)
+    ]
+
+
+def occ_tuples(occurrences):
+    return [(o.label, o.graph_index, o.in_explanation) for o in occurrences]
+
+
+# ----------------------------------------------------------------------
+# the dataset zoo under test
+# ----------------------------------------------------------------------
+SEEDED_ZOO = [
+    ("pcqm4m", 9, 3),
+    ("enzymes", 3, 6),
+    ("reddit_binary", 1, 2),
+]
+
+
+@pytest.fixture(scope="module", params=["mutagen"] + [z[0] for z in SEEDED_ZOO])
+def zoo(request, trained_model, mutagen_db):
+    """(db, views, index) per zoo member."""
+    if request.param == "mutagen":
+        config = GvexConfig(theta=0.08, radius=0.3).with_bounds(0, 6)
+        views = explain_database(mutagen_db, trained_model, config)
+        return mutagen_db, views, ViewIndex(views, db=mutagen_db)
+    name = request.param
+    in_dim, n_classes = next(
+        (d, c) for n, d, c in SEEDED_ZOO if n == name
+    )
+    db = load_dataset(name, scale="test", seed=0)
+    model = GnnClassifier(in_dim, n_classes, hidden_dims=(8, 8), seed=0)
+    config = GvexConfig(theta=0.1, radius=0.4).with_bounds(0, 5)
+    views = ApproxGvex(model, config).explain(db)
+    return db, views, ViewIndex(views, db=db)
+
+
+def query_patterns(db, views):
+    """View patterns + free-form analyst patterns (incl. absent ones)."""
+    patterns = [p for view in views for p in view.patterns]
+    types = sorted({int(t) for g in db.graphs for t in g.node_types})
+    patterns += [Pattern.singleton(t) for t in types[:2]]
+    patterns.append(Pattern.singleton(997))  # matches nothing
+    for view in views:
+        for sub in view.subgraphs:
+            if sub.n_edges >= 1:  # a connected 2-node pattern
+                u, v, _ = next(iter(sub.subgraph.edges()))
+                patterns.append(Pattern.from_induced(sub.subgraph, [u, v]))
+                break
+    return patterns
+
+
+# ----------------------------------------------------------------------
+# equivalence: legacy == naive == DSL, across the zoo
+# ----------------------------------------------------------------------
+class TestEquivalence:
+    def test_explanations_containing(self, zoo):
+        db, views, index = zoo
+        for p in query_patterns(db, views):
+            naive = naive_explanations_containing(views, p)
+            assert occ_tuples(index.explanations_containing(p)) == naive
+            assert occ_tuples(index.select(Q.pattern(p))) == naive
+            for label in views.labels:
+                naive_l = naive_explanations_containing(views, p, label)
+                assert (
+                    occ_tuples(index.explanations_containing(p, label=label))
+                    == naive_l
+                )
+                assert (
+                    occ_tuples(index.select(Q.pattern(p) & Q.label(label)))
+                    == naive_l
+                )
+
+    def test_graphs_containing(self, zoo):
+        db, views, index = zoo
+        for p in query_patterns(db, views)[:6]:
+            naive = naive_graphs_containing(views, db, p)
+            assert occ_tuples(index.graphs_containing(p)) == naive
+            assert (
+                occ_tuples(index.select(Q.pattern(p) & Q.in_scope("graphs")))
+                == naive
+            )
+            label = views.labels[0]
+            naive_l = naive_graphs_containing(views, db, p, label)
+            assert occ_tuples(index.graphs_containing(p, label=label)) == naive_l
+            assert (
+                occ_tuples(
+                    index.select(
+                        Q.pattern(p) & Q.in_scope("graphs") & Q.label(label)
+                    )
+                )
+                == naive_l
+            )
+
+    def test_discriminative_patterns(self, zoo):
+        db, views, index = zoo
+        labels = views.labels
+        for target in labels:
+            for against in labels:
+                if target == against:
+                    continue
+                naive = naive_discriminative(views, target, against)
+                got = index.discriminative_patterns(target, against)
+                assert got == naive
+                # DSL equivalent: target patterns with no `against` hit
+                dsl = [
+                    p
+                    for p in index.patterns_for_label(target)
+                    if not index.select(Q.pattern(p) & Q.label(against))
+                ]
+                assert dsl == naive
+
+    def test_discriminative_unknown_label_raises(self, zoo):
+        _, views, index = zoo
+        with pytest.raises(KeyError):
+            index.discriminative_patterns(views.labels[0], "no-such-label")
+
+    def test_pattern_statistics(self, zoo):
+        db, views, index = zoo
+        for p in query_patterns(db, views):
+            naive = naive_statistics(views, p)
+            assert index.pattern_statistics(p) == naive
+            dsl = {
+                label: index.count(Q.pattern(p) & Q.label(label))
+                for label in views.labels
+            }
+            assert dsl == naive
+
+    def test_labels_with_pattern(self, zoo):
+        db, views, index = zoo
+        for p in query_patterns(db, views):
+            assert index.labels_with_pattern(p) == naive_labels_with_pattern(
+                views, p
+            )
+
+
+# ----------------------------------------------------------------------
+# DSL algebra + scope semantics
+# ----------------------------------------------------------------------
+class TestDslSemantics:
+    @pytest.fixture(scope="class")
+    def mut_index(self, trained_model, mutagen_db):
+        config = GvexConfig(theta=0.08, radius=0.3).with_bounds(0, 6)
+        views = explain_database(mutagen_db, trained_model, config)
+        return ViewIndex(views, db=mutagen_db)
+
+    def test_or_is_union(self, mut_index):
+        no_bond = Pattern.from_parts([N, O], [(0, 1)])
+        single_n = Pattern.singleton(N)
+        union = occ_tuples(mut_index.select(Q.pattern(no_bond) | Q.pattern(single_n)))
+        a = set(occ_tuples(mut_index.select(Q.pattern(no_bond))))
+        b = set(occ_tuples(mut_index.select(Q.pattern(single_n))))
+        assert set(union) == a | b
+
+    def test_not_is_complement(self, mut_index):
+        p = Pattern.singleton(N)
+        hits = set(occ_tuples(mut_index.select(Q.pattern(p))))
+        misses = set(occ_tuples(mut_index.select(~Q.pattern(p))))
+        universe = set(
+            occ_tuples(mut_index.select(Q.any(*(Q.label(l) for l in mut_index.labels()))))
+        )
+        assert hits | misses == universe
+        assert hits & misses == set()
+
+    def test_and_not_composition(self, mut_index):
+        """'explanations with an N but no N-O bond' — not expressible
+        with one legacy call."""
+        no_bond = Pattern.from_parts([N, O], [(0, 1)])
+        got = mut_index.select(Q.pattern(Pattern.singleton(N)) & ~Q.pattern(no_bond))
+        with_n = set(occ_tuples(mut_index.select(Q.pattern(Pattern.singleton(N)))))
+        with_bond = set(occ_tuples(mut_index.select(Q.pattern(no_bond))))
+        assert set(occ_tuples(got)) == with_n - with_bond
+
+    def test_scope_defaults_to_explanations(self):
+        assert (Q.pattern(Pattern.singleton(0)) & Q.label(1)).scope() \
+            == SCOPE_EXPLANATIONS
+        assert Q.in_scope("graphs").scope() == SCOPE_GRAPHS
+
+    def test_mixed_scopes_rejected(self, mut_index):
+        q = Q.in_scope("graphs") & Q.in_scope("explanations")
+        with pytest.raises(QueryError):
+            mut_index.select(q)
+
+    def test_scope_under_negation_or_disjunction_rejected(self):
+        with pytest.raises(QueryError):
+            (~Q.in_scope("graphs")).scope()
+        with pytest.raises(QueryError):
+            (Q.in_scope("graphs") | Q.label(1)).scope()
+
+    def test_bad_scope_name_rejected(self):
+        with pytest.raises(QueryError):
+            Q.in_scope("everything")
+
+    def test_non_query_operand_rejected(self):
+        with pytest.raises(QueryError):
+            Q.label(1) & "not a query"
+        with pytest.raises(QueryError):
+            Q.pattern("not a pattern")
+
+    def test_any_all_helpers(self, mut_index):
+        q_any = Q.any(Q.label(0), Q.label(1))
+        q_all = Q.all(Q.label(1), Q.pattern(Pattern.singleton(N)))
+        assert len(mut_index.select(q_any)) >= len(mut_index.select(q_all))
+        with pytest.raises(QueryError):
+            Q.any()
+
+    def test_graph_scope_without_db_raises(self, mut_index):
+        bare = ViewIndex(mut_index.views)
+        with pytest.raises(ValueError):
+            bare.select(Q.pattern(Pattern.singleton(N)) & Q.in_scope("graphs"))
+
+    def test_count(self, mut_index):
+        p = Pattern.singleton(N)
+        assert mut_index.count(Q.pattern(p)) == len(
+            mut_index.select(Q.pattern(p))
+        )
+
+
+# ----------------------------------------------------------------------
+# the inverted index + cache-key satellite
+# ----------------------------------------------------------------------
+class TestInvertedIndex:
+    @pytest.fixture(scope="class")
+    def mut_index(self, trained_model, mutagen_db):
+        config = GvexConfig(theta=0.08, radius=0.3).with_bounds(0, 6)
+        views = explain_database(mutagen_db, trained_model, config)
+        return ViewIndex(views, db=mutagen_db)
+
+    def test_match_cache_keys_are_stable_not_id_based(self, mut_index):
+        mut_index.explanations_containing(Pattern.singleton(N))
+        assert mut_index._match_cache
+        for canon_key, host_key in mut_index._match_cache:
+            wl_key, bucket_pos = canon_key
+            assert isinstance(wl_key, str) and len(wl_key) == 40  # sha1 hex
+            assert isinstance(bucket_pos, int)
+            assert host_key[0] in ("expl", "db")
+
+    def test_fresh_equal_patterns_hit_the_same_postings(self, mut_index):
+        """id() reuse cannot corrupt results: structurally equal
+        patterns built from scratch (old ones GC'd) share postings."""
+        before = occ_tuples(
+            mut_index.explanations_containing(Pattern.from_parts([N, O], [(0, 1)]))
+        )
+        gc.collect()
+        sizes = []
+        for _ in range(5):
+            p = Pattern.from_parts([N, O], [(0, 1)])
+            assert occ_tuples(mut_index.explanations_containing(p)) == before
+            sizes.append(len(mut_index._expl_postings))
+        assert len(set(sizes)) == 1, "equal patterns must not grow the index"
+
+    def test_view_patterns_are_preindexed(self, mut_index):
+        stats = mut_index.index_stats()
+        n_view_patterns = len(
+            {  # canonical: count distinct keys
+                mut_index._canon(p)[1]
+                for view in mut_index.views
+                for p in view.patterns
+            }
+        )
+        assert stats["patterns"] >= n_view_patterns
+        # querying a view pattern must not add isomorphism work beyond
+        # what the eager build already cached
+        cache_before = dict(mut_index._match_cache)
+        for view in mut_index.views:
+            for p in view.patterns:
+                mut_index.explanations_containing(p)
+        assert mut_index._match_cache == cache_before
+
+    def test_unseen_pattern_is_memoized_once(self, mut_index):
+        p = Pattern.from_parts([N, N], [(0, 1)])
+        mut_index.explanations_containing(p)
+        cache_after_first = len(mut_index._match_cache)
+        mut_index.explanations_containing(Pattern.from_parts([N, N], [(0, 1)]))
+        assert len(mut_index._match_cache) == cache_after_first

@@ -42,12 +42,18 @@ def main() -> None:
         scale="test",
         config=GvexConfig(theta=0.08, radius=0.3).with_bounds(0, 6),
     )
-    server = create_server(svc, port=0)  # port 0: pick a free port
+    # port 0 picks a free port; explains are admitted through a bounded
+    # work queue (queue_capacity) — submissions past it get 503
+    # backpressure; pass auth_token="..." to require a bearer token on
+    # POST routes (see docs/runtime.md)
+    server = create_server(svc, port=0, queue_capacity=4)
     threading.Thread(target=server.serve_forever, daemon=True).start()
     base = server.url
     print(f"serving on {base}")
 
-    print("\nGET /health ->", call(base, "/health"))
+    health = call(base, "/health")
+    print("\nGET /health ->", health)
+    print("explain queue:", health["queue"])
     print("\nGET /explainers ->",
           [e["name"] for e in call(base, "/explainers")["explainers"]])
 

@@ -1,19 +1,21 @@
 #!/usr/bin/env python
-"""Public-API snapshot check for ``repro.api``.
+"""Public-API snapshot check for ``repro.api`` and ``repro.runtime``.
 
-Compares the symbols exported by ``repro.api`` (its ``__all__``)
-against the committed manifest ``scripts/api_surface.txt``. Any drift
-— a symbol added without updating the manifest, or removed/renamed
-without a deliberate deprecation (docs/api.md) — fails the CI docs
-lane::
+Compares the symbols exported by the supported surfaces (their
+``__all__``) against the committed manifest
+``scripts/api_surface.txt``. Any drift — a symbol added without
+updating the manifest, or removed/renamed without a deliberate
+deprecation (docs/api.md) — fails the CI docs lane::
 
     python scripts/check_api_surface.py            # check
     python scripts/check_api_surface.py --update   # rewrite the manifest
 
-The exported list is read by importing ``repro.api`` when the runtime
-dependencies (numpy) are available, and by statically parsing
-``src/repro/api/__init__.py`` otherwise, so the check also runs in the
-dependency-free docs lane.
+``repro.api`` symbols appear bare; ``repro.runtime`` symbols are
+prefixed ``runtime.`` (the execution engine is its own supported
+surface, see docs/runtime.md). Exports are read by importing the
+modules when the runtime dependencies (numpy) are available, and by
+statically parsing each package ``__init__.py`` otherwise, so the
+check also runs in the dependency-free docs lane.
 """
 
 from __future__ import annotations
@@ -24,27 +26,42 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 MANIFEST = REPO / "scripts" / "api_surface.txt"
-API_INIT = REPO / "src" / "repro" / "api" / "__init__.py"
+
+#: (import name, package __init__ path, manifest prefix)
+SURFACES = [
+    ("repro.api", REPO / "src" / "repro" / "api" / "__init__.py", ""),
+    ("repro.runtime", REPO / "src" / "repro" / "runtime" / "__init__.py", "runtime."),
+]
 
 
 def exported_symbols() -> "list[str]":
-    try:
-        sys.path.insert(0, str(REPO / "src"))
+    out: "list[str]" = []
+    for module_name, init_path, prefix in SURFACES:
         try:
-            import repro.api as api
-        finally:
-            sys.path.pop(0)
-    except ImportError:
-        return _static_all()
-    missing = [name for name in api.__all__ if not hasattr(api, name)]
-    if missing:
-        raise SystemExit(f"repro.api.__all__ names missing attributes: {missing}")
-    return sorted(api.__all__)
+            sys.path.insert(0, str(REPO / "src"))
+            try:
+                import importlib
+
+                module = importlib.import_module(module_name)
+            finally:
+                sys.path.pop(0)
+        except ImportError:
+            out.extend(prefix + name for name in _static_all(init_path))
+            continue
+        missing = [
+            name for name in module.__all__ if not hasattr(module, name)
+        ]
+        if missing:
+            raise SystemExit(
+                f"{module_name}.__all__ names missing attributes: {missing}"
+            )
+        out.extend(prefix + name for name in module.__all__)
+    return sorted(out)
 
 
-def _static_all() -> "list[str]":
-    """Parse ``__all__`` from the package __init__ without importing."""
-    tree = ast.parse(API_INIT.read_text())
+def _static_all(init_path: Path) -> "list[str]":
+    """Parse ``__all__`` from a package __init__ without importing."""
+    tree = ast.parse(init_path.read_text())
     for node in tree.body:
         targets = []
         if isinstance(node, ast.Assign):
@@ -54,7 +71,7 @@ def _static_all() -> "list[str]":
         if "__all__" in targets and node.value is not None:
             value = ast.literal_eval(node.value)
             return sorted(str(name) for name in value)
-    raise SystemExit(f"no literal __all__ found in {API_INIT}")
+    raise SystemExit(f"no literal __all__ found in {init_path}")
 
 
 def manifest_symbols() -> "list[str]":
@@ -74,7 +91,8 @@ def main(argv: "list[str]" = sys.argv[1:]) -> int:
     actual = exported_symbols()
     if "--update" in argv:
         MANIFEST.write_text(
-            "# Snapshot of repro.api.__all__ — the supported public surface.\n"
+            "# Snapshot of the supported public surfaces: repro.api.__all__\n"
+            "# (bare names) and repro.runtime.__all__ ('runtime.' prefix).\n"
             "# Regenerate with: python scripts/check_api_surface.py --update\n"
             "# Changing this file is an API change; see docs/api.md.\n"
             + "\n".join(actual)
@@ -97,7 +115,10 @@ def main(argv: "list[str]" = sys.argv[1:]) -> int:
             "the diff against docs/api.md's deprecation policy"
         )
         return 1
-    print(f"repro.api surface matches manifest ({len(actual)} symbols)")
+    print(
+        f"repro.api + repro.runtime surface matches manifest "
+        f"({len(actual)} symbols)"
+    )
     return 0
 
 

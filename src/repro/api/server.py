@@ -1,39 +1,48 @@
 """Stdlib JSON/HTTP endpoint over an :class:`ExplanationService`.
 
-The first concrete step toward the serving north star: a dependency-free
-``http.server`` wrapper exposing the explain + query lifecycle::
+A dependency-free ``http.server`` wrapper exposing the explain + query
+lifecycle::
 
     python -m repro.cli serve --dataset mutagenicity --port 8080
 
 Routes
 ------
-``GET  /health``        service status + index statistics
+``GET  /health``        service status + index + work-queue statistics
 ``GET  /explainers``    the registry (names, aliases, descriptions)
 ``GET  /capabilities``  the Table 1 capability matrix (text)
 ``GET  /views``         current views in the versioned wire format
-``POST /explain``       ``{"method", "labels"?, "config"?}`` -> view summary
+``POST /explain``       ``{"method", "labels"?, "config"?, "processes"?,``
+                        ``"n_shards"?}`` -> view summary
 ``POST /query``         ``{"pattern", "scope"?, "label"?, "patterns"?}``
                         -> occurrences + per-label statistics
 
 All bodies and responses are JSON. Explain requests mutate the
 service's current views (and therefore what ``/query`` sees), matching
-the facade's semantics. The server is threaded for concurrent *reads*;
-``/explain`` runs under a lock so the model is never trained twice.
+the facade's semantics — and they *patch* the replica's warm
+:class:`~repro.query.ViewIndex` posting lists instead of rebuilding it
+per request. The server is threaded for concurrent *reads*; explains
+are admitted through a :class:`~repro.runtime.BoundedWorkQueue` —
+one runs at a time, a bounded backlog may wait, and submissions past
+capacity are rejected with ``503`` (backpressure; see
+docs/runtime.md). With ``auth_token`` set, POST routes require
+``Authorization: Bearer <token>`` (compared constant-time); reads stay
+open.
 """
 
 from __future__ import annotations
 
+import hmac
 import json
-import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.api.registry import explainer_specs
 from repro.api.service import ExplanationService, pattern_from_spec
 from repro.config import GvexConfig
-from repro.exceptions import ReproError
+from repro.exceptions import QueueFullError, ReproError
 from repro.graphs.io import viewset_to_dict
 from repro.query import Q, Query
+from repro.runtime.workqueue import DEFAULT_CAPACITY, BoundedWorkQueue
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8080
@@ -45,33 +54,58 @@ class ExplanationServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address: Tuple[str, int], service: ExplanationService):
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: ExplanationService,
+        *,
+        queue_capacity: int = DEFAULT_CAPACITY,
+        auth_token: Optional[str] = None,
+    ):
         super().__init__(address, _Handler)
         self.service = service
-        self.explain_lock = threading.Lock()
+        self.auth_token = auth_token
+        self.work_queue = BoundedWorkQueue(capacity=queue_capacity)
 
     @property
     def url(self) -> str:
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
 
+    def server_close(self) -> None:  # noqa: D102 - stdlib override
+        self.work_queue.close()
+        super().server_close()
+
 
 def create_server(
     service: ExplanationService,
     host: str = DEFAULT_HOST,
     port: int = DEFAULT_PORT,
+    *,
+    queue_capacity: int = DEFAULT_CAPACITY,
+    auth_token: Optional[str] = None,
 ) -> ExplanationServer:
     """Bind (but do not start) a server; ``port=0`` picks a free port."""
-    return ExplanationServer((host, port), service)
+    return ExplanationServer(
+        (host, port),
+        service,
+        queue_capacity=queue_capacity,
+        auth_token=auth_token,
+    )
 
 
 def serve(
     service: ExplanationService,
     host: str = DEFAULT_HOST,
     port: int = DEFAULT_PORT,
+    *,
+    queue_capacity: int = DEFAULT_CAPACITY,
+    auth_token: Optional[str] = None,
 ) -> None:
     """Blocking serve loop (Ctrl-C to stop)."""
-    server = create_server(service, host, port)
+    server = create_server(
+        service, host, port, queue_capacity=queue_capacity, auth_token=auth_token
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive only
@@ -108,11 +142,29 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         route = self.path.split("?", 1)[0].rstrip("/")
+        if not self._authorized():
+            self._error(401, "missing or invalid bearer token")
+            return
         try:
             body = self._read_body()
             if route == "/explain":
-                with self.server.explain_lock:
-                    self._json(200, self._explain(body))
+                # explains mutate service state: admit through the
+                # bounded queue (FIFO, one at a time) and block for the
+                # result; a full queue is immediate backpressure
+                try:
+                    item = self.server.work_queue.submit(
+                        lambda: self._explain(body)
+                    )
+                except QueueFullError as exc:
+                    self._json(
+                        503,
+                        {
+                            "error": str(exc),
+                            "queue": self.server.work_queue.stats(),
+                        },
+                    )
+                    return
+                self._json(200, item.result())
             elif route == "/query":
                 self._json(200, self._query(body))
             else:
@@ -121,6 +173,16 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(400, f"{type(exc).__name__}: {exc}")
         except Exception as exc:  # pragma: no cover - defensive
             self._error(500, f"{type(exc).__name__}: {exc}")
+
+    # ------------------------------------------------------------------
+    def _authorized(self) -> bool:
+        """Bearer-token check on POST routes (constant-time compare)."""
+        token = self.server.auth_token
+        if token is None:
+            return True
+        header = self.headers.get("Authorization") or ""
+        expected = f"Bearer {token}"
+        return hmac.compare_digest(header.encode(), expected.encode())
 
     # ------------------------------------------------------------------
     def _health(self) -> Dict[str, Any]:
@@ -132,6 +194,8 @@ class _Handler(BaseHTTPRequestHandler):
             "has_model": svc._model is not None,
             "has_views": svc.has_views,
             "last_method": svc.last_method,
+            "queue": self.server.work_queue.stats(),
+            "auth": self.server.auth_token is not None,
         }
         if svc.has_views:
             out["labels"] = [str(l) for l in svc.views.labels]
@@ -164,7 +228,13 @@ class _Handler(BaseHTTPRequestHandler):
         config: Optional[GvexConfig] = None
         if body.get("config"):
             config = GvexConfig.from_dict(body["config"])
-        views = svc.explain(method, labels=labels, config=config)
+        views = svc.explain(
+            method,
+            labels=labels,
+            config=config,
+            processes=int(body.get("processes", 1)),
+            n_shards=int(body.get("n_shards", 1)),
+        )
         return {
             "method": svc.last_method,
             "views": [
@@ -228,6 +298,8 @@ class _Handler(BaseHTTPRequestHandler):
         raw = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        if status == 503:
+            self.send_header("Retry-After", "1")
         self.send_header("Content-Length", str(len(raw)))
         self.end_headers()
         self.wfile.write(raw)

@@ -23,7 +23,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any, Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
 
-from repro.api.registry import build_explainer, get_spec
+from repro.api.registry import get_spec
 from repro.config import GvexConfig
 from repro.exceptions import ConfigurationError, ExplanationError
 from repro.gnn.model import GnnClassifier
@@ -174,38 +174,36 @@ class ExplanationService:
         labels: Optional[Iterable[int]] = None,
         config: Optional[GvexConfig] = None,
         processes: int = 1,
+        n_shards: int = 1,
         seed: Optional[Any] = None,
         **overrides: Any,
     ) -> ViewSet:
         """Generate explanation views with any registered explainer.
 
         ``method`` is a registry name or alias (``gvex-approx``,
-        ``stream``, ``SX``, ...). ``processes > 1`` routes through the
-        multi-process engine (:mod:`repro.core.parallel`). The produced
-        views become the service's current views (queryable via
-        :meth:`query`).
+        ``stream``, ``SX``, ...). Scheduling always goes through the
+        :mod:`repro.runtime` plan/executor engine: ``processes > 1``
+        forks a warm-state worker pool, ``n_shards > 1`` runs the
+        replica-sharding simulation and merges partial views. The
+        produced views become the service's current views (queryable
+        via :meth:`query`).
         """
         spec = get_spec(method)
         config = config if config is not None else self.config
         seed = seed if seed is not None else self.seed
-        if processes > 1:
-            from repro.core.parallel import explain_database_parallel
+        from repro.runtime import build_plan, run_plan
 
-            views = explain_database_parallel(
-                self.db,
-                self.model,
-                config,
-                labels=labels,
-                processes=processes,
-                method=spec.name,
-                seed=seed,
-                explainer_kwargs=overrides,
-            )
-        else:
-            explainer = build_explainer(
-                spec.name, self.model, config=config, seed=seed, **overrides
-            )
-            views = explainer.explain_views(self.db, labels=labels, config=config)
+        plan = build_plan(
+            self.db,
+            self.model,
+            config,
+            labels=labels,
+            method=spec.name,
+            seed=seed,
+            explainer_kwargs=overrides,
+            processes=processes,
+        )
+        views = run_plan(plan, processes=processes, n_shards=n_shards)
         self.last_method = spec.name
         self._set_views(views)
         return views
@@ -226,8 +224,15 @@ class ExplanationService:
         self._set_views(views)
 
     def _set_views(self, views: ViewSet) -> None:
+        if self._index is not None:
+            # warm replica: patch posting lists per admitted view
+            # instead of rebuilding (see docs/runtime.md). The patch
+            # runs on a clone swapped in atomically, so concurrent
+            # query threads (the HTTP server reads without locks) keep
+            # a consistent snapshot; when no index exists yet it stays
+            # lazily built on first query
+            self._index = self._index.patched_copy(views)
         self._views = views
-        self._index = None  # the inverted index is rebuilt lazily
 
     @property
     def views(self) -> ViewSet:

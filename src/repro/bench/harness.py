@@ -86,6 +86,65 @@ def make_explainers(
     }
 
 
+def group_plan(
+    trained: TrainedClassifier,
+    method: str,
+    label: int,
+    indices: Sequence[int],
+    config: GvexConfig,
+    seed: int = 0,
+    shard_size: Optional[int] = None,
+):
+    """An :class:`~repro.runtime.ExplainPlan` restricted to one group.
+
+    The harness schedules every sweep through :mod:`repro.runtime`
+    like the facade/CLI/HTTP entry points do — same shard geometry,
+    same warm :class:`~repro.runtime.WorkerState`, with bench-scale
+    budget overrides from :data:`BENCH_BUDGETS`.
+    """
+    from repro.runtime import build_plan
+
+    predicted: List[Optional[int]] = [None] * len(trained.db)
+    for i in indices:
+        predicted[i] = label
+    return build_plan(
+        trained.db,
+        trained.model,
+        config,
+        labels=[label],
+        predicted=predicted,
+        method=method,
+        seed=seed,
+        explainer_kwargs=BENCH_BUDGETS.get(method, {}),
+        shard_size=shard_size,
+    )
+
+
+def explain_group(
+    trained: TrainedClassifier,
+    method: str,
+    label: int,
+    indices: Sequence[int],
+    config: GvexConfig,
+    seed: int = 0,
+    processes: int = 1,
+) -> Dict[int, ExplanationSubgraph]:
+    """Explain one label group through the runtime scheduler.
+
+    Returns ``{graph_index: explanation}`` like
+    ``Explainer.explain_database`` did, so the fidelity metrics
+    consume it unchanged.
+    """
+    from repro.runtime import run_tasks
+
+    plan = group_plan(trained, method, label, indices, config, seed=seed)
+    return {
+        index: subgraph
+        for index, _, subgraph, _ in run_tasks(plan, processes=processes)
+        if subgraph is not None
+    }
+
+
 def label_group_indices(
     trained: TrainedClassifier, label: int, limit: Optional[int] = None
 ) -> List[int]:
@@ -133,16 +192,11 @@ def fidelity_sweep(
     indices = label_group_indices(trained, label, limit=graphs_per_method)
     results: Dict[str, SweepResult] = {m: SweepResult(m) for m in methods}
     for upper in upper_bounds:
-        explainers = make_explainers(
-            trained,
-            methods,
-            config=bench_config(upper=upper, dataset=trained.dataset),
-            seed=seed,
-        )
-        for method, explainer in explainers.items():
+        config = bench_config(upper=upper, dataset=trained.dataset)
+        for method in methods:
             start = time.perf_counter()
-            expls = explainer.explain_database(
-                trained.db, label=label, max_nodes=upper, indices=indices
+            expls = explain_group(
+                trained, method, label, indices, config, seed=seed
             )
             elapsed = time.perf_counter() - start
             plus, minus = fidelity_scores(trained.model, trained.db, expls)
@@ -178,22 +232,27 @@ def timed_explain(
     single explanation call), mirroring how the paper reports ">24h"
     for methods that cannot finish a workload.
     """
+    from repro.runtime import WorkerState
+
     label = label if label is not None else majority_label(trained)
     indices = label_group_indices(trained, label, limit=graphs)
-    explainer = make_explainers(
-        trained, [method], config=bench_config(upper=upper), seed=seed
-    )[method]
+    # shard_size=1 keeps the soft timeout checkable between graphs
+    # while still scheduling through the runtime's warm worker state
+    plan = group_plan(
+        trained, method, label, indices, bench_config(upper=upper),
+        seed=seed, shard_size=1,
+    )
+    state = WorkerState.from_plan(plan)
+    state.explainer  # construction stays outside the timed region
     start = time.perf_counter()
     produced = 0
     timed_out = False
-    for idx in indices:
+    for shard in plan.shards:
         if time.perf_counter() - start > budget_seconds:
             timed_out = True
             break
-        expl = explainer.explain_graph(
-            trained.db[idx], label=label, max_nodes=upper, graph_index=idx
-        )
-        produced += expl is not None
+        for _, _, expl, _ in state.run_shard(shard):
+            produced += expl is not None
     return TimedRun(
         method=method,
         seconds=time.perf_counter() - start,
@@ -207,6 +266,8 @@ __all__ = [
     "BENCH_BUDGETS",
     "bench_config",
     "make_explainers",
+    "group_plan",
+    "explain_group",
     "label_group_indices",
     "majority_label",
     "SweepResult",

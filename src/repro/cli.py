@@ -110,7 +110,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--processes",
         type=int,
         default=1,
-        help="fork this many workers for the explanation phase (§A.7)",
+        help="fork this many warm-state workers for the explanation "
+        "phase (repro.runtime fork-pool executor, §A.7)",
+    )
+    p_explain.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="replica-shard the database N ways and merge partial views "
+        "(repro.runtime sharded executor; composes with --processes)",
     )
     p_explain.add_argument("--out", required=True, help="output views .json path")
 
@@ -145,6 +153,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="exit after N requests (0 = serve forever); used by tests",
+    )
+    p_serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=8,
+        help="bounded explain work queue capacity; submissions past it "
+        "get 503 backpressure (see docs/runtime.md)",
+    )
+    p_serve.add_argument(
+        "--auth-token",
+        default=None,
+        help="require 'Authorization: Bearer <token>' on POST routes "
+        "(constant-time compare; GET routes stay open)",
     )
 
     return parser
@@ -222,6 +243,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.method,
             labels=args.labels if args.labels else None,
             processes=args.processes,
+            n_shards=args.shards,
         )
         svc.persist(args.out)
         for view in views:
@@ -257,7 +279,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             _attach_model(svc, args)
         if args.views:
             svc.load_views(args.views)
-        server = create_server(svc, host=args.host, port=args.port)
+        server = create_server(
+            svc,
+            host=args.host,
+            port=args.port,
+            queue_capacity=args.queue_depth,
+            auth_token=args.auth_token,
+        )
         _SERVE_STATE["server"] = server
         print(f"serving {args.dataset} ({args.scale}) on {server.url}")
         print("routes: GET /health /explainers /capabilities /views | "

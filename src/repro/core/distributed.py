@@ -1,70 +1,25 @@
-"""Sharded view generation and view merging (paper's future work).
+"""Deprecated: sharded view generation and view merging.
 
-The conclusion names "distributed view-based GNN explanation" as future
-work. The enabler is a *merge* operation on explanation views: each
-worker explains a shard of the label group independently (the per-graph
-explanation phases don't interact), and partial views merge by taking
-the union of their subgraphs and re-running the Psum summarize step on
-the union — node coverage is preserved, and the pattern tier stays
-near-optimal because Psum's weighted-set-cover greedy sees the merged
-subgraph set.
-
-``explain_database_sharded`` demonstrates the scheme on one machine; a
-real deployment would run each shard on a different worker and ship the
-(JSON-serializable) partial views to a coordinator.
+.. deprecated::
+    The sharding logic moved to
+    :class:`repro.runtime.ShardedExecutor` and the merge contract to
+    :mod:`repro.runtime.merge`; this module re-exports both and keeps
+    :func:`explain_database_sharded` as a thin wrapper for one
+    deprecation cycle (docs/api.md). New code should build an
+    :class:`~repro.runtime.ExplainPlan` and run it through
+    :class:`~repro.runtime.ShardedExecutor`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence
+from typing import Iterable, Optional
 
 from repro.config import GvexConfig
-from repro.core.approx import ApproxGvex
-from repro.core.parallel import explain_database_parallel
-from repro.core.psum import summarize
 from repro.gnn.model import GnnClassifier
 from repro.graphs.database import GraphDatabase
-from repro.graphs.view import ExplanationView, ViewSet
+from repro.graphs.view import ViewSet
 
-
-def merge_views(
-    views: Sequence[ExplanationView], config: GvexConfig
-) -> ExplanationView:
-    """Merge partial views of the *same* label into one.
-
-    Subgraphs are unioned (later shards win on duplicate graph
-    indices, which cannot happen under disjoint sharding); patterns are
-    re-summarized over the union so coverage and edge loss stay valid.
-    """
-    if not views:
-        raise ValueError("merge_views needs at least one view")
-    label = views[0].label
-    if any(v.label != label for v in views):
-        raise ValueError("cannot merge views of different labels")
-
-    by_graph: Dict[int, object] = {}
-    for view in views:
-        for sub in view.subgraphs:
-            by_graph[sub.graph_index] = sub
-    merged = ExplanationView(label=label)
-    merged.subgraphs = [by_graph[i] for i in sorted(by_graph)]
-    psum = summarize([s.subgraph for s in merged.subgraphs], config)
-    merged.patterns = psum.patterns
-    merged.edge_loss = psum.edge_loss
-    merged.score = sum(s.score for s in merged.subgraphs)
-    return merged
-
-
-def merge_view_sets(
-    parts: Sequence[ViewSet], config: GvexConfig
-) -> ViewSet:
-    """Merge shard-level view sets label by label."""
-    labels = sorted({l for part in parts for l in part.labels}, key=repr)
-    out = ViewSet()
-    for label in labels:
-        partials = [part[label] for part in parts if label in part]
-        out.add(merge_views(partials, config))
-    return out
+from repro.runtime.merge import merge_view_sets, merge_views  # noqa: F401 - legacy home
 
 
 def explain_database_sharded(
@@ -77,34 +32,15 @@ def explain_database_sharded(
 ) -> ViewSet:
     """Shard the database, explain each shard, merge the partial views.
 
-    Graph indices stay global, so merged views reference the original
-    database exactly like the unsharded result.
+    Deprecated wrapper over
+    :class:`repro.runtime.ShardedExecutor`; graph indices stay global,
+    so merged views reference the original database exactly like the
+    unsharded result.
     """
-    config = config if config is not None else GvexConfig()
-    if n_shards < 1:
-        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
-    predicted = [model.predict(g) for g in db]
+    from repro.runtime import build_plan, run_plan
 
-    parts: List[ViewSet] = []
-    for shard in range(n_shards):
-        shard_predicted: List[Optional[int]] = [
-            p if i % n_shards == shard else None for i, p in enumerate(predicted)
-        ]
-        if processes > 1:
-            part = explain_database_parallel(
-                db,
-                model,
-                config,
-                labels=labels,
-                processes=processes,
-                predicted=shard_predicted,
-            )
-        else:
-            part = ApproxGvex(model, config, labels=labels).explain(
-                db, predicted=shard_predicted
-            )
-        parts.append(part)
-    return merge_view_sets(parts, config)
+    plan = build_plan(db, model, config, labels=labels, processes=processes)
+    return run_plan(plan, processes=processes, n_shards=n_shards)
 
 
 __all__ = ["merge_views", "merge_view_sets", "explain_database_sharded"]

@@ -1,113 +1,25 @@
-"""Multi-process view generation (§A.7).
+"""Deprecated: multi-process view generation (§A.7).
 
-Per-graph explanation phases are independent, so the label-group loop
-parallelizes trivially. Workers are forked with the model/config set
-once via a pool initializer (numpy weights are shared copy-on-write),
-so per-task overhead is one pickled graph index.
-
-Any explainer registered in :mod:`repro.api.registry` can be
-distributed: GVEX's ApproxGVEX keeps its fast path (the core
-``explain_graph`` with inference-call accounting); other methods are
-built once per worker via ``build_explainer`` and driven through the
-uniform ``explain_graph`` interface. Pattern summarization (Psum) runs
-in the parent either way, since it needs the whole label group.
-
-Falls back to the serial path when ``processes <= 1`` or when the
-platform cannot fork.
+.. deprecated::
+    This module's scheduling logic moved to :mod:`repro.runtime` — the
+    single execution engine behind the facade, the CLI, the bench
+    harness, and the HTTP layer. :func:`explain_database_parallel`
+    survives as a thin wrapper over
+    :func:`repro.runtime.build_plan` + :class:`repro.runtime.ForkPoolExecutor`
+    for one deprecation cycle (docs/api.md); new code should build an
+    :class:`~repro.runtime.ExplainPlan` and pick an executor directly.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Iterable, Mapping, Optional, Sequence
 
 from repro.config import GvexConfig
-from repro.core.approx import ApproxGvex, explain_graph
-from repro.exceptions import RegistryError
-from repro.core.psum import summarize
 from repro.gnn.model import GnnClassifier
 from repro.graphs.database import GraphDatabase
-from repro.graphs.view import ExplanationSubgraph, ExplanationView, ViewSet
 
-#: registry name whose parallel path uses the core ApproxGVEX kernel
-_APPROX = "gvex-approx"
-
-_WORKER_MODEL: Optional[GnnClassifier] = None
-_WORKER_CONFIG: Optional[GvexConfig] = None
-_WORKER_DB: Optional[GraphDatabase] = None
-_WORKER_EXPLAINER = None  # non-approx methods: built once per worker
-
-
-def _init_worker(
-    model: GnnClassifier,
-    config: GvexConfig,
-    db: GraphDatabase,
-    method: str = _APPROX,
-    seed: int = 0,
-    explainer_kwargs: Optional[Mapping] = None,
-) -> None:
-    global _WORKER_MODEL, _WORKER_CONFIG, _WORKER_DB, _WORKER_EXPLAINER
-    _WORKER_MODEL = model
-    _WORKER_CONFIG = config
-    _WORKER_DB = db
-    if method == _APPROX:
-        _WORKER_EXPLAINER = None
-    else:
-        from repro.api.registry import build_explainer
-
-        _WORKER_EXPLAINER = build_explainer(
-            method, model, config=config, seed=seed, **(explainer_kwargs or {})
-        )
-
-
-def _explain_one(
-    task: Tuple[int, int]
-) -> Tuple[int, int, Optional[ExplanationSubgraph], int]:
-    index, label = task
-    assert _WORKER_MODEL is not None and _WORKER_CONFIG is not None
-    assert _WORKER_DB is not None
-    if _WORKER_EXPLAINER is not None:
-        upper = _WORKER_CONFIG.coverage_for(label).upper
-        subgraph = _WORKER_EXPLAINER.explain_graph(
-            _WORKER_DB[index], label=label, max_nodes=upper or None, graph_index=index
-        )
-        return index, label, subgraph, 0
-    result = explain_graph(
-        _WORKER_MODEL,
-        _WORKER_DB[index],
-        label,
-        _WORKER_CONFIG,
-        graph_index=index,
-    )
-    return index, label, result.subgraph, result.inference_calls
-
-
-def _with_stats(views: ViewSet, inference_calls: int, return_stats: bool):
-    if not return_stats:
-        return views
-    return views, {"inference_calls": inference_calls}
-
-
-def build_views_from_subgraphs(
-    subgraphs: Dict[int, List[ExplanationSubgraph]],
-    config: GvexConfig,
-    labels: Sequence[int],
-) -> ViewSet:
-    """Assemble two-tier views from per-label explanation subgraphs.
-
-    The parent-side tail of the parallel pipeline: sort by source graph,
-    mine/summarize patterns with Psum, aggregate Eq. 2 scores.
-    """
-    views = ViewSet()
-    for label in labels:
-        subs = sorted(subgraphs.get(label, []), key=lambda s: s.graph_index)
-        view = ExplanationView(label=label, subgraphs=subs)
-        psum = summarize([s.subgraph for s in subs], config)
-        view.patterns = psum.patterns
-        view.edge_loss = psum.edge_loss
-        view.score = sum(s.score for s in subs)
-        views.add(view)
-    return views
+from repro.runtime.plan import APPROX_METHOD as _APPROX
+from repro.runtime.plan import assemble_views as build_views_from_subgraphs  # noqa: F401 - legacy name
 
 
 def explain_database_parallel(
@@ -124,71 +36,27 @@ def explain_database_parallel(
 ):
     """Parallel view generation over a database (per-graph coverage scope).
 
-    For ``method="gvex-approx"`` this is semantically identical to
-    :meth:`ApproxGvex.explain`; other registry names distribute the
-    uniform ``explain_graph`` interface instead. Only the explanation
-    phase is distributed — the Psum summarize step runs in the parent
-    (it needs the whole label group's subgraphs). Workers honor
-    ``config.verifier_backend``, so the batched engine composes with
-    multiprocessing. With ``return_stats`` the result is a ``(views,
-    stats)`` pair where ``stats["inference_calls"]`` sums the workers'
-    forward-pass launches (approx path only).
+    Deprecated wrapper over the :mod:`repro.runtime` plan/executor
+    API; semantics are unchanged: ``method="gvex-approx"`` matches
+    :meth:`~repro.core.approx.ApproxGvex.explain`, other registry names
+    distribute the uniform ``explain_graph`` interface, Psum runs in
+    the parent, workers honor ``config.verifier_backend``, and
+    ``return_stats`` adds ``{"inference_calls": ...}``.
     """
-    from repro.api.registry import get_spec
+    from repro.runtime import build_plan, run_plan
 
-    config = config if config is not None else GvexConfig()
-    method = get_spec(method).name
-    if method == _APPROX and explainer_kwargs:
-        raise RegistryError(
-            "the gvex-approx parallel path takes its configuration from "
-            f"GvexConfig, not constructor overrides {sorted(explainer_kwargs)}"
-        )
-    if predicted is None:
-        predicted = [model.predict(g) for g in db]
-
-    groups: Dict[int, List[int]] = {}
-    for i, l in enumerate(predicted):
-        if l is None:
-            continue
-        groups.setdefault(int(l), []).append(i)
-    wanted = sorted(groups) if labels is None else sorted(set(labels))
-
-    def serial_fallback():
-        if method == _APPROX:
-            algo = ApproxGvex(model, config, labels=wanted)
-            views = algo.explain(db, predicted)
-            return _with_stats(views, algo.total_inference_calls, return_stats)
-        from repro.api.registry import build_explainer
-
-        explainer = build_explainer(
-            method, model, config=config, seed=seed, **(explainer_kwargs or {})
-        )
-        views = explainer.explain_views(db, labels=wanted, config=config)
-        return _with_stats(views, 0, return_stats)
-
-    if processes <= 1:
-        return serial_fallback()
-
-    tasks = [(i, label) for label in wanted for i in groups.get(label, [])]
-    try:
-        ctx = mp.get_context("fork")
-    except ValueError:  # pragma: no cover - non-fork platforms
-        return serial_fallback()
-
-    total_calls = 0
-    subgraphs: Dict[int, List[ExplanationSubgraph]] = {l: [] for l in wanted}
-    with ctx.Pool(
+    plan = build_plan(
+        db,
+        model,
+        config,
+        labels=labels,
+        predicted=predicted,
+        method=method,
+        seed=seed,
+        explainer_kwargs=explainer_kwargs,
         processes=processes,
-        initializer=_init_worker,
-        initargs=(model, config, db, method, seed, dict(explainer_kwargs or {})),
-    ) as pool:
-        for index, label, subgraph, calls in pool.map(_explain_one, tasks):
-            total_calls += calls
-            if subgraph is not None:
-                subgraphs[label].append(subgraph)
-
-    views = build_views_from_subgraphs(subgraphs, config, wanted)
-    return _with_stats(views, total_calls, return_stats)
+    )
+    return run_plan(plan, processes=processes, return_stats=return_stats)
 
 
 __all__ = ["explain_database_parallel", "build_views_from_subgraphs"]

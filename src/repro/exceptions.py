@@ -47,5 +47,9 @@ class RegistryError(ReproError):
     """Unknown or misconfigured explainer registry entry."""
 
 
+class QueueFullError(ReproError):
+    """The bounded work queue rejected a submission (backpressure)."""
+
+
 class MiningError(ReproError):
     """Problem during pattern mining."""

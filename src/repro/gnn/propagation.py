@@ -103,9 +103,16 @@ def extend_power_sequence(
         C_j = E_1·C_{j-1} + Δ·C_{j-1} + Δ·E_{j-1},   C_0 = I_new − pad(I_old)
 
     which is maintained in factored ``L·R`` form (rank grows by ``2a``
-    per step) and materialized once per power. When the final rank
-    would reach ``m`` the routine falls back to the dense recursion —
-    identical result, no savings.
+    per step) and materialized once per power. When the growing
+    factored rank approaches ``m`` mid-sequence, the routine
+    *re-anchors*: it materializes the current power once (the dense
+    matrix it was about to produce anyway), resets the correction, and
+    computes the remaining powers by the dense recursion ``P^{j+1} =
+    P^j · P_new`` from that anchor — so the early low-rank steps keep
+    their savings instead of the whole call falling back to
+    :func:`power_sequence`. Only when even the *first* step is not
+    low-rank (``b + rank >= m``) does the dense rebuild take over from
+    the start.
 
     The output is mathematically equal to ``power_sequence(P_new, k)``;
     floating-point results may differ in the last ulps (see
@@ -143,7 +150,7 @@ def extend_power_sequence(
     new_mask[pos] = False
     new_idx = np.nonzero(new_mask)[0]
     b = new_idx.size
-    if b + k * rank >= m:  # correction not low-rank: dense is cheaper
+    if b + rank >= m:  # not low-rank from step one: dense is cheaper
         return power_sequence(P_new, k)
 
     # Δ = U·V: changed rows, plus remaining changed columns
@@ -162,6 +169,14 @@ def extend_power_sequence(
 
     powers: "list[np.ndarray]" = []
     for j in range(1, k + 1):
+        if powers and L.shape[1] + rank >= m:
+            # the correction's factored rank is about to reach full
+            # rank: re-anchor at the last materialized power and run
+            # the remaining steps as the dense recursion (identical to
+            # power_sequence's association order)
+            for _ in range(j, k + 1):
+                powers.append(powers[-1] @ P_new)
+            break
         if j == 1:  # V · E_0 = V · pad(I_old): zero the new columns
             VE = np.zeros_like(V)
             VE[:, pos] = V[:, pos]

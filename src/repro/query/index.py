@@ -25,6 +25,11 @@ explanation subgraphs.
 
 Match results are cached under ``(canonical pattern key, stable host
 key)`` — *not* ``id()`` pairs, which the allocator may reuse after GC.
+Explanation-tier host keys are *content-defined* (graph index +
+selected nodes), so cached matches also survive **incremental
+maintenance**: :meth:`ViewIndex.add_view` / :meth:`remove_view` /
+:meth:`patch_views` patch the posting lists per admitted view instead
+of rebuilding — the warm-replica serving path (docs/runtime.md).
 """
 
 from __future__ import annotations
@@ -57,8 +62,16 @@ from dataclasses import dataclass
 #: ``id()`` which can be recycled.
 CanonKey = Tuple[str, int]
 
-#: stable host identity: ("expl", label, graph_index) or ("db", index)
+#: stable host identity: ("expl", graph_index, selected nodes) for an
+#: explanation subgraph — content-defining (an induced subgraph is
+#: determined by its source graph and node set), so cached match
+#: results survive incremental view patches — or ("db", index) for a
+#: full source graph
 HostKey = Tuple
+
+
+def _host_key(sub) -> HostKey:
+    return ("expl", sub.graph_index, sub.nodes)
 
 
 @dataclass(frozen=True)
@@ -256,10 +269,7 @@ class ViewIndex:
             out[view.label] = [
                 sub.graph_index
                 for sub in view.subgraphs
-                if self._matches(
-                    canon, key, sub.subgraph,
-                    ("expl", view.label, sub.graph_index),
-                )
+                if self._matches(canon, key, sub.subgraph, _host_key(sub))
             ]
         return out
 
@@ -325,6 +335,143 @@ class ViewIndex:
         if isinstance(node, Not):
             return universe - self._evaluate(node.operand, scope, universe)
         raise QueryError(f"unsupported query node {type(node).__name__}")
+
+    # ------------------------------------------------------------------
+    # incremental maintenance (warm serve replicas patch, not rebuild)
+    # ------------------------------------------------------------------
+    def add_view(self, view: ExplanationView) -> None:
+        """Admit one view incrementally, patching the posting lists.
+
+        Every existing canonical key gains a posting list for the new
+        label (match results for previously seen (pattern, host) pairs
+        come from the cache); the view's own patterns register new keys
+        where needed. Raises :class:`QueryError` when the label already
+        has a view — replace via :meth:`remove_view` or
+        :meth:`patch_views`.
+        """
+        if view.label in self.views:
+            raise QueryError(
+                f"label {view.label!r} already has a view; remove it first"
+            )
+        self.views.add(view)
+        self._rebuild_group_of()
+        self._admit_view(view)
+        self._refresh_graph_posting_labels()
+
+    def remove_view(self, label: Hashable) -> ExplanationView:
+        """Remove one label's view, dropping its posting-list entries.
+
+        Memoized free-form patterns and the match cache survive — the
+        cost of re-admitting a similar view later stays incremental.
+        """
+        if label not in self.views:
+            raise QueryError(f"no view for label {label!r}")
+        removed = self.views.views.pop(label)
+        self._rebuild_group_of()
+        self._drop_label(label)
+        self._refresh_graph_posting_labels()
+        return removed
+
+    def patch_views(self, new_views: ViewSet) -> None:
+        """Adopt a new view set by patching instead of rebuilding.
+
+        Per label: unchanged view *objects* keep their postings;
+        removed labels are dropped; added or replaced views are
+        re-admitted incrementally. The canonical-pattern identity map
+        and the match cache are preserved, so repeated serve explains
+        only pay isomorphism checks for genuinely new (pattern, host)
+        pairs. Equivalent to ``ViewIndex(new_views, db)`` for every
+        query (``tests/test_view_index_incremental.py``).
+        """
+        old = {label: self.views.views[label] for label in self.views.labels}
+        self.views = new_views
+        self._rebuild_group_of()
+        for label, old_view in old.items():
+            if new_views.get(label) is not old_view:
+                self._drop_label(label)
+        for label in new_views.labels:
+            view = new_views[label]
+            if old.get(label) is not view:
+                self._admit_view(view)
+        self._refresh_graph_posting_labels()
+
+    def patched_copy(self, new_views: ViewSet) -> "ViewIndex":
+        """A new index adopting ``new_views``, reusing this one's caches.
+
+        The threaded serving path must never mutate an index that
+        concurrent readers hold (readers also memoize into the posting
+        dicts). This clones the container dicts — contents are shared;
+        canonical bucket order is preserved so :data:`CanonKey`
+        positions stay valid — patches the clone incrementally, and
+        returns it for an atomic swap. Readers keep a
+        stale-but-consistent snapshot, exactly like the old
+        invalidate-and-rebuild behavior, at patch cost.
+        """
+        clone = object.__new__(ViewIndex)
+        clone.views = self.views
+        clone.db = self.db
+        clone._identity = {k: list(v) for k, v in self._identity.items()}
+        clone._match_cache = dict(self._match_cache)
+        clone._pattern_labels = {
+            k: set(v) for k, v in self._pattern_labels.items()
+        }
+        clone._expl_postings = {
+            k: dict(v) for k, v in self._expl_postings.items()
+        }
+        clone._graph_postings = dict(self._graph_postings)
+        clone._group_of = dict(self._group_of)
+        clone.patch_views(new_views)
+        return clone
+
+    # -- internals of the patch path -----------------------------------
+    def _rebuild_group_of(self) -> None:
+        self._group_of = {}
+        for view in self.views:
+            for sub in view.subgraphs:
+                self._group_of.setdefault(sub.graph_index, view.label)
+
+    def _drop_label(self, label: Hashable) -> None:
+        for postings in self._expl_postings.values():
+            postings.pop(label, None)
+        for members in self._pattern_labels.values():
+            members.discard(label)
+
+    def _admit_view(self, view: ExplanationView) -> None:
+        # the view's pattern tier may introduce new canonical keys;
+        # those need a full posting scan (nothing is cached for them)
+        fresh: List[Tuple[Pattern, CanonKey]] = []
+        for p in view.patterns:
+            canon, key = self._canon(p)
+            self._pattern_labels.setdefault(key, set()).add(view.label)
+            if key not in self._expl_postings:
+                self._expl_postings[key] = {}
+                fresh.append((canon, key))
+        fresh_keys = {key for _, key in fresh}
+        # every pre-existing key needs this label's posting list: scan
+        # only the admitted view's subgraphs (cache-assisted)
+        for key, postings in self._expl_postings.items():
+            if key in fresh_keys:
+                continue
+            canon = self._identity[key[0]][key[1]]
+            postings[view.label] = [
+                sub.graph_index
+                for sub in view.subgraphs
+                if self._matches(canon, key, sub.subgraph, _host_key(sub))
+            ]
+        for canon, key in fresh:
+            self._expl_postings[key] = self._scan_explanations(canon, key)
+
+    def _refresh_graph_posting_labels(self) -> None:
+        """Re-label cached db-tier postings after ``_group_of`` changed.
+
+        The expensive part — pattern-vs-full-graph isomorphism — is
+        unaffected by view changes (the database is fixed), so only the
+        group labels are rewritten.
+        """
+        for key, postings in self._graph_postings.items():
+            self._graph_postings[key] = [
+                (self._group_of.get(idx), idx) for _, idx in postings
+            ]
 
     # ------------------------------------------------------------------
     def index_stats(self) -> Dict[str, int]:

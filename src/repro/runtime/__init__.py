@@ -1,0 +1,75 @@
+"""``repro.runtime`` — one execution engine for all explanation work.
+
+Historically four call sites scheduled explanation four different ways
+(the facade's serial loop, ``core.parallel``'s fork pool,
+``core.distributed``'s shard-and-merge, and the HTTP server's global
+lock). This package is now the *only* scheduling layer:
+
+* :func:`build_plan` partitions a database into label-group
+  :class:`Shard`\\ s sized to the batched verifier's cache geometry
+  (``repro.runtime.plan``);
+* :class:`SerialExecutor` / :class:`ForkPoolExecutor` /
+  :class:`ShardedExecutor` run a plan with identical results and
+  different scheduling (``repro.runtime.executors``), fork workers
+  holding an explicit warm :class:`WorkerState`;
+* :func:`merge_views` / :func:`merge_view_sets` combine replica-level
+  partial views (``repro.runtime.merge``);
+* :class:`BoundedWorkQueue` gives the serving layer admission control
+  and backpressure (``repro.runtime.workqueue``).
+
+``repro.core.parallel`` and ``repro.core.distributed`` survive as
+deprecated wrappers over this package. The architecture is documented
+in ``docs/runtime.md``; the exported surface is snapshotted by
+``scripts/check_api_surface.py``.
+"""
+
+from repro.runtime.executors import (
+    Executor,
+    ForkPoolExecutor,
+    SerialExecutor,
+    ShardedExecutor,
+    WorkerState,
+    make_executor,
+    run_plan,
+    run_tasks,
+)
+from repro.runtime.merge import merge_view_sets, merge_views
+from repro.runtime.plan import (
+    APPROX_METHOD,
+    ExplainPlan,
+    Shard,
+    assemble_views,
+    build_plan,
+    shard_size_for,
+)
+from repro.runtime.workqueue import (
+    DEFAULT_CAPACITY,
+    BoundedWorkQueue,
+    WorkItem,
+)
+
+__all__ = [
+    # plan
+    "APPROX_METHOD",
+    "ExplainPlan",
+    "Shard",
+    "build_plan",
+    "shard_size_for",
+    "assemble_views",
+    # executors
+    "Executor",
+    "SerialExecutor",
+    "ForkPoolExecutor",
+    "ShardedExecutor",
+    "WorkerState",
+    "make_executor",
+    "run_plan",
+    "run_tasks",
+    # merge
+    "merge_views",
+    "merge_view_sets",
+    # work queue
+    "BoundedWorkQueue",
+    "WorkItem",
+    "DEFAULT_CAPACITY",
+]

@@ -1,0 +1,446 @@
+"""Executors: the one way explanation work is scheduled.
+
+Every entry point — :class:`~repro.api.service.ExplanationService`,
+``repro.cli explain``, the bench harness, ``repro.cli serve`` — builds
+an :class:`~repro.runtime.plan.ExplainPlan` and hands it to one of
+three executors:
+
+* :class:`SerialExecutor` — runs the plan's shards in-process, in
+  order. The reference for the parity contract.
+* :class:`ForkPoolExecutor` — forks a worker pool; each worker holds an
+  explicit :class:`WorkerState` (model, config, database, built
+  explainer) initialized once, and drains whole shards as in-process
+  loops, so the state — including the batched verifier's stacked
+  scratch — stays warm across a shard's tasks. One pickled shard per
+  task replaces the old one-pickled-graph-index-per-task protocol of
+  ``repro.core.parallel``.
+* :class:`ShardedExecutor` — the distributed simulation (absorbing
+  ``repro.core.distributed``): the database is round-robin partitioned
+  into replica shards, each replica runs its own restricted plan
+  through an inner executor, and the partial view sets merge through
+  ``repro.runtime.merge`` (union of subgraphs + parent-side Psum
+  re-summarization), exactly the contract a multi-machine deployment
+  would ship over the wire.
+
+All three produce **bit-identical** view sets for deterministic
+methods (``tests/test_runtime.py`` asserts this across the dataset
+zoo); they differ only in scheduling.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.config import SCOPE_PER_GROUP, GvexConfig
+from repro.core.approx import ApproxGvex, explain_graph
+from repro.gnn.model import GnnClassifier
+from repro.graphs.database import GraphDatabase
+from repro.graphs.view import ExplanationSubgraph, ViewSet
+from repro.runtime.plan import (
+    APPROX_METHOD,
+    ExplainPlan,
+    Shard,
+    assemble_views,
+    build_plan,
+)
+
+#: (graph index, label, explanation or None, inference calls)
+TaskResult = Tuple[int, int, Optional[ExplanationSubgraph], int]
+
+
+@dataclass
+class WorkerState:
+    """Everything one worker keeps warm while draining shards.
+
+    Replaces ``repro.core.parallel``'s module-level worker globals with
+    an explicit object: the (copy-on-write-shared) model weights, the
+    config, the database, and — for registry methods other than the
+    core ApproxGVEX kernel — the explainer, built exactly once per
+    worker. ``inference_calls`` accumulates the approx path's
+    forward-pass launches across every shard the worker runs.
+    """
+
+    model: GnnClassifier
+    config: GvexConfig
+    db: GraphDatabase
+    method: str = APPROX_METHOD
+    seed: int = 0
+    explainer_kwargs: Mapping = field(default_factory=dict)
+    inference_calls: int = 0
+    _explainer: Optional[object] = field(default=None, repr=False)
+
+    @classmethod
+    def from_plan(cls, plan: ExplainPlan) -> "WorkerState":
+        return cls(
+            model=plan.model,
+            config=plan.config,
+            db=plan.db,
+            method=plan.method,
+            seed=plan.seed,
+            explainer_kwargs=dict(plan.explainer_kwargs),
+        )
+
+    @property
+    def explainer(self):
+        """The built explainer (non-approx methods), cached per worker."""
+        if self.method == APPROX_METHOD:
+            return None
+        if self._explainer is None:
+            from repro.api.registry import build_explainer
+
+            self._explainer = build_explainer(
+                self.method,
+                self.model,
+                config=self.config,
+                seed=self.seed,
+                **dict(self.explainer_kwargs),
+            )
+        return self._explainer
+
+    # ------------------------------------------------------------------
+    def run_shard(self, shard: Shard) -> List[TaskResult]:
+        """Explain every task of one shard as a single warm loop."""
+        out: List[TaskResult] = []
+        if self.method == APPROX_METHOD:
+            for index in shard.indices:
+                result = explain_graph(
+                    self.model,
+                    self.db[index],
+                    shard.label,
+                    self.config,
+                    graph_index=index,
+                )
+                self.inference_calls += result.inference_calls
+                out.append(
+                    (index, shard.label, result.subgraph, result.inference_calls)
+                )
+            return out
+        explainer = self.explainer
+        upper = self.config.coverage_for(shard.label).upper
+        for index in shard.indices:
+            subgraph = explainer.explain_graph(
+                self.db[index],
+                label=shard.label,
+                max_nodes=upper or None,
+                graph_index=index,
+            )
+            out.append((index, shard.label, subgraph, 0))
+        return out
+
+
+def _collect(
+    results: Sequence[TaskResult], labels: Sequence[int]
+) -> Tuple[Dict[int, List[ExplanationSubgraph]], int]:
+    subgraphs: Dict[int, List[ExplanationSubgraph]] = {l: [] for l in labels}
+    calls = 0
+    for _, label, subgraph, task_calls in results:
+        calls += task_calls
+        if subgraph is not None:
+            subgraphs[label].append(subgraph)
+    return subgraphs, calls
+
+
+def _plan_predicted(plan: ExplainPlan) -> List[Optional[int]]:
+    """Per-index predicted labels implied by the plan's shards."""
+    predicted: List[Optional[int]] = [None] * len(plan.db)
+    for shard in plan.shards:
+        for index in shard.indices:
+            predicted[index] = shard.label
+    return predicted
+
+
+def _native_non_approx(plan: ExplainPlan) -> bool:
+    """Whether the plan's method owns its own whole-group pipeline.
+
+    StreamGVEX (and any future ``native_views`` registration other
+    than the core kernel) cannot be task-decomposed without changing
+    its pattern-tier semantics; the fork-pool and sharded executors
+    route such plans to the serial path instead of silently producing
+    different views (fork) or duplicating full runs per replica
+    (sharded).
+    """
+    if plan.method == APPROX_METHOD:
+        return False
+    from repro.api.registry import get_spec
+
+    return get_spec(plan.method).native_views
+
+
+class Executor:
+    """Base scheduling policy: plan in, views (+ stats) out."""
+
+    name = "base"
+
+    def run(self, plan: ExplainPlan) -> Tuple[ViewSet, Dict[str, int]]:
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """In-process execution, shard after shard — the parity reference.
+
+    Two cases route around the shard loop to preserve semantics the
+    task decomposition cannot express: the per-*group* coverage scope
+    (its node budget threads sequentially through a label group) and
+    native-view methods other than the core kernel (StreamGVEX's
+    Algorithm 3 owns its own pattern pipeline). Both delegate to the
+    method's own ``explain``/``explain_views``, exactly like the old
+    serial fallback. Note that ``explain_views`` re-derives its label
+    groups from model predictions, so a plan restricted via
+    ``predicted`` is honored only by the shard-decomposable paths —
+    the fork-pool and sharded executors therefore never decompose
+    native-view methods (see :func:`_native_non_approx`).
+    """
+
+    name = "serial"
+
+    def run(self, plan: ExplainPlan) -> Tuple[ViewSet, Dict[str, int]]:
+        if plan.method == APPROX_METHOD:
+            if plan.config.coverage_scope == SCOPE_PER_GROUP:
+                algo = ApproxGvex(plan.model, plan.config, labels=plan.labels)
+                views = algo.explain(plan.db, predicted=_plan_predicted(plan))
+                return views, {"inference_calls": algo.total_inference_calls}
+            state = WorkerState.from_plan(plan)
+            results: List[TaskResult] = []
+            for shard in plan.shards:
+                results.extend(state.run_shard(shard))
+            subgraphs, calls = _collect(results, plan.labels)
+            return (
+                assemble_views(subgraphs, plan.config, plan.labels),
+                {"inference_calls": calls},
+            )
+
+        from repro.api.registry import get_spec
+
+        state = WorkerState.from_plan(plan)
+        if get_spec(plan.method).native_views:
+            views = state.explainer.explain_views(
+                plan.db, labels=plan.labels, config=plan.config
+            )
+            return views, {"inference_calls": 0}
+        results = []
+        for shard in plan.shards:
+            results.extend(state.run_shard(shard))
+        subgraphs, _ = _collect(results, plan.labels)
+        return (
+            assemble_views(subgraphs, plan.config, plan.labels),
+            {"inference_calls": 0},
+        )
+
+
+# ----------------------------------------------------------------------
+# fork-pool execution
+# ----------------------------------------------------------------------
+_WORKER_STATE: Optional[WorkerState] = None
+
+
+def _init_worker(
+    model: GnnClassifier,
+    config: GvexConfig,
+    db: GraphDatabase,
+    method: str,
+    seed: int,
+    explainer_kwargs: Mapping,
+) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = WorkerState(
+        model=model,
+        config=config,
+        db=db,
+        method=method,
+        seed=seed,
+        explainer_kwargs=dict(explainer_kwargs),
+    )
+    # non-approx explainers are built eagerly so a bad constructor
+    # override fails at pool startup, not mid-shard
+    _WORKER_STATE.explainer
+
+
+def _run_shard(shard: Shard) -> List[TaskResult]:
+    assert _WORKER_STATE is not None
+    return _WORKER_STATE.run_shard(shard)
+
+
+class ForkPoolExecutor(Executor):
+    """Fork a pool; each worker drains whole shards with warm state.
+
+    Falls back to :class:`SerialExecutor` when ``processes <= 1`` or
+    the platform cannot fork. Only the explanation phase is
+    distributed; the Psum summarize tail runs in the parent (it needs
+    the whole label group's subgraphs).
+    """
+
+    name = "fork-pool"
+
+    def __init__(self, processes: int = 2):
+        self.processes = processes
+
+    def run(self, plan: ExplainPlan) -> Tuple[ViewSet, Dict[str, int]]:
+        if self.processes <= 1:
+            return SerialExecutor().run(plan)
+        if plan.method == APPROX_METHOD and (
+            plan.config.coverage_scope == SCOPE_PER_GROUP
+        ):
+            return SerialExecutor().run(plan)
+        if _native_non_approx(plan):
+            # distributing per-graph explain_graph would change the
+            # method's own pattern pipeline: keep the serial semantics
+            return SerialExecutor().run(plan)
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            return SerialExecutor().run(plan)
+
+        results: List[TaskResult] = []
+        with ctx.Pool(
+            processes=self.processes,
+            initializer=_init_worker,
+            initargs=(
+                plan.model,
+                plan.config,
+                plan.db,
+                plan.method,
+                plan.seed,
+                dict(plan.explainer_kwargs),
+            ),
+        ) as pool:
+            for shard_results in pool.map(_run_shard, plan.shards):
+                results.extend(shard_results)
+        subgraphs, calls = _collect(results, plan.labels)
+        return (
+            assemble_views(subgraphs, plan.config, plan.labels),
+            {"inference_calls": calls},
+        )
+
+
+class ShardedExecutor(Executor):
+    """Replica sharding: partition the database, explain, merge.
+
+    Each replica gets every ``n_shards``-th graph (global indices are
+    preserved), runs its own restricted plan through ``inner`` — any
+    executor — and produces a *partial* view set with its own Psum
+    tier. Partials merge by unioning subgraphs and re-summarizing over
+    the union (``repro.runtime.merge``), so node coverage is preserved
+    and the pattern tier stays near-optimal. A real deployment would
+    run each replica on a different machine and ship the
+    JSON-serializable partial views to a coordinator.
+    """
+
+    name = "sharded"
+
+    def __init__(self, n_shards: int = 2, inner: Optional[Executor] = None):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = n_shards
+        self.inner = inner if inner is not None else SerialExecutor()
+
+    def run(self, plan: ExplainPlan) -> Tuple[ViewSet, Dict[str, int]]:
+        from repro.runtime.merge import merge_view_sets
+
+        if _native_non_approx(plan):
+            # each replica would re-run the whole-group pipeline over
+            # the full database (explain_views re-derives its groups)
+            # and the merge would only deduplicate identical results:
+            # run it once instead
+            return self.inner.run(plan)
+        predicted = _plan_predicted(plan)
+        parts: List[ViewSet] = []
+        calls = 0
+        for replica in range(self.n_shards):
+            replica_predicted: List[Optional[int]] = [
+                p if i % self.n_shards == replica else None
+                for i, p in enumerate(predicted)
+            ]
+            replica_plan = build_plan(
+                plan.db,
+                plan.model,
+                plan.config,
+                labels=plan.labels,
+                predicted=replica_predicted,
+                method=plan.method,
+                seed=plan.seed,
+                explainer_kwargs=plan.explainer_kwargs,
+            )
+            views, stats = self.inner.run(replica_plan)
+            calls += stats.get("inference_calls", 0)
+            parts.append(views)
+        merged = merge_view_sets(parts, plan.config, labels=plan.labels)
+        return merged, {"inference_calls": calls}
+
+
+def run_tasks(plan: ExplainPlan, processes: int = 1) -> List[TaskResult]:
+    """Run a plan's shards and return raw per-task results (no Psum tail).
+
+    The bench harness uses this to drive per-graph sweeps through the
+    same scheduling layer as full view generation: warm
+    :class:`WorkerState`, shard-at-a-time dispatch, optional fork pool.
+    """
+    if processes > 1:
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            ctx = None
+        if ctx is not None:
+            results: List[TaskResult] = []
+            with ctx.Pool(
+                processes=processes,
+                initializer=_init_worker,
+                initargs=(
+                    plan.model,
+                    plan.config,
+                    plan.db,
+                    plan.method,
+                    plan.seed,
+                    dict(plan.explainer_kwargs),
+                ),
+            ) as pool:
+                for shard_results in pool.map(_run_shard, plan.shards):
+                    results.extend(shard_results)
+            return results
+    state = WorkerState.from_plan(plan)
+    return [r for shard in plan.shards for r in state.run_shard(shard)]
+
+
+def make_executor(
+    processes: int = 1, n_shards: int = 1
+) -> Executor:
+    """The executor for a (processes, n_shards) request.
+
+    ``n_shards > 1`` wraps the pool/serial choice in a
+    :class:`ShardedExecutor`; ``processes > 1`` selects the fork pool.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    inner: Executor
+    inner = ForkPoolExecutor(processes) if processes > 1 else SerialExecutor()
+    if n_shards > 1:
+        return ShardedExecutor(n_shards, inner=inner)
+    return inner
+
+
+def run_plan(
+    plan: ExplainPlan,
+    *,
+    processes: int = 1,
+    n_shards: int = 1,
+    return_stats: bool = False,
+):
+    """One-call execution: pick an executor, run, unwrap."""
+    views, stats = make_executor(processes, n_shards).run(plan)
+    if return_stats:
+        return views, stats
+    return views
+
+
+__all__ = [
+    "TaskResult",
+    "WorkerState",
+    "Executor",
+    "SerialExecutor",
+    "ForkPoolExecutor",
+    "ShardedExecutor",
+    "make_executor",
+    "run_plan",
+    "run_tasks",
+]

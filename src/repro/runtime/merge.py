@@ -1,0 +1,76 @@
+"""Merging partial explanation views (the paper's distributed future work).
+
+The enabler for sharded/distributed view generation is a *merge*
+operation on explanation views: each replica explains its slice of the
+label group independently (per-graph explanation phases don't
+interact), and partial views merge by unioning their subgraphs and
+re-running the Psum summarize step on the union — node coverage is
+preserved, and the pattern tier stays near-optimal because Psum's
+weighted-set-cover greedy sees the merged subgraph set.
+
+These functions are the parent-side contract of
+:class:`~repro.runtime.executors.ShardedExecutor`; they moved here
+from ``repro.core.distributed``, which remains a deprecated wrapper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Sequence
+
+from repro.config import GvexConfig
+from repro.core.psum import summarize
+from repro.graphs.view import ExplanationView, ViewSet
+
+
+def merge_views(
+    views: Sequence[ExplanationView], config: GvexConfig
+) -> ExplanationView:
+    """Merge partial views of the *same* label into one.
+
+    Subgraphs are unioned (later shards win on duplicate graph
+    indices, which cannot happen under disjoint sharding); patterns are
+    re-summarized over the union so coverage and edge loss stay valid.
+    """
+    if not views:
+        raise ValueError("merge_views needs at least one view")
+    label = views[0].label
+    if any(v.label != label for v in views):
+        raise ValueError("cannot merge views of different labels")
+
+    by_graph: Dict[int, object] = {}
+    for view in views:
+        for sub in view.subgraphs:
+            by_graph[sub.graph_index] = sub
+    merged = ExplanationView(label=label)
+    merged.subgraphs = [by_graph[i] for i in sorted(by_graph)]
+    psum = summarize([s.subgraph for s in merged.subgraphs], config)
+    merged.patterns = psum.patterns
+    merged.edge_loss = psum.edge_loss
+    merged.score = sum(s.score for s in merged.subgraphs)
+    return merged
+
+
+def merge_view_sets(
+    parts: Sequence[ViewSet],
+    config: GvexConfig,
+    labels: Optional[Sequence[Hashable]] = None,
+) -> ViewSet:
+    """Merge shard-level view sets label by label.
+
+    ``labels`` fixes the output's label order (an executor passes the
+    plan's labels so empty groups still yield empty views, matching
+    the serial reference bit for bit); by default every label present
+    in any part is merged.
+    """
+    if labels is None:
+        labels = sorted({l for part in parts for l in part.labels}, key=repr)
+    out = ViewSet()
+    for label in labels:
+        partials = [part[label] for part in parts if label in part]
+        if not partials:
+            partials = [ExplanationView(label=label)]
+        out.add(merge_views(partials, config))
+    return out
+
+
+__all__ = ["merge_views", "merge_view_sets"]

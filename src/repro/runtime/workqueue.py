@@ -1,0 +1,173 @@
+"""Bounded work queue with backpressure for the serving layer.
+
+``repro.cli serve`` used to serialize ``/explain`` requests under one
+global lock: every concurrent explain blocked inside the HTTP handler
+with no depth bound and no visibility. The queue replaces that with an
+explicit admission policy:
+
+* a fixed **capacity**: submissions beyond it are rejected immediately
+  (:class:`~repro.exceptions.QueueFullError`), which the HTTP layer
+  maps to ``503 Service Unavailable`` — callers get backpressure
+  instead of unbounded queueing;
+* one worker thread drains jobs in FIFO order, preserving the
+  serve path's one-explain-at-a-time invariant (the model must never
+  be trained twice concurrently);
+* counters — depth, in-flight, submitted/completed/rejected/failed
+  totals, wait and run latency — surfaced on ``/health``.
+
+The queue is deliberately scheduler-agnostic: a job is any callable,
+so the server submits facade calls that themselves run through the
+plan/executor runtime.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.exceptions import QueueFullError
+
+DEFAULT_CAPACITY = 8
+
+
+class WorkItem:
+    """A submitted job: wait for it, then read ``result`` or re-raise."""
+
+    def __init__(self, fn: Callable[[], Any]):
+        self._fn = fn
+        self._done = threading.Event()
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+        self.submitted_at = time.perf_counter()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    def run(self) -> None:
+        self.started_at = time.perf_counter()
+        try:
+            self._result = self._fn()
+        except BaseException as exc:  # noqa: BLE001 - re-raised in result()
+            self._error = exc
+        finally:
+            self.finished_at = time.perf_counter()
+            self._done.set()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        if not self._done.wait(timeout):
+            raise TimeoutError("work item did not complete in time")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    @property
+    def failed(self) -> bool:
+        return self._error is not None
+
+
+class BoundedWorkQueue:
+    """FIFO queue with a hard depth bound and latency counters."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._queue: "queue.Queue[Optional[WorkItem]]" = queue.Queue(
+            maxsize=capacity
+        )
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._rejected = 0
+        self._wait_seconds = 0.0
+        self._run_seconds = 0.0
+        self._last_latency = 0.0
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._drain, name="repro-work-queue", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, fn: Callable[[], Any]) -> WorkItem:
+        """Admit a job or raise :class:`QueueFullError` immediately."""
+        item = WorkItem(fn)
+        with self._lock:
+            if self._closed:
+                raise QueueFullError("work queue is closed")
+            try:
+                self._queue.put_nowait(item)
+            except queue.Full:
+                self._rejected += 1
+                raise QueueFullError(
+                    f"work queue at capacity ({self.capacity} pending)"
+                ) from None
+            self._submitted += 1
+        return item
+
+    def run(self, fn: Callable[[], Any], timeout: Optional[float] = None) -> Any:
+        """Submit and block for the result (the HTTP handler's path)."""
+        return self.submit(fn).result(timeout)
+
+    # ------------------------------------------------------------------
+    def _drain(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:  # close sentinel
+                return
+            with self._lock:
+                self._in_flight += 1
+            item.run()
+            with self._lock:
+                self._in_flight -= 1
+                assert item.started_at is not None
+                assert item.finished_at is not None
+                self._wait_seconds += item.started_at - item.submitted_at
+                self._run_seconds += item.finished_at - item.started_at
+                self._last_latency = item.finished_at - item.submitted_at
+                if item.failed:
+                    self._failed += 1
+                else:
+                    self._completed += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Jobs admitted but not yet finished (queued + in flight)."""
+        with self._lock:
+            return self._queue.qsize() + self._in_flight
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters for ``/health`` and diagnostics."""
+        with self._lock:
+            finished = self._completed + self._failed
+            return {
+                "capacity": self.capacity,
+                "depth": self._queue.qsize() + self._in_flight,
+                "in_flight": self._in_flight,
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "failed": self._failed,
+                "rejected": self._rejected,
+                "avg_wait_seconds": (
+                    self._wait_seconds / finished if finished else 0.0
+                ),
+                "avg_run_seconds": (
+                    self._run_seconds / finished if finished else 0.0
+                ),
+                "last_latency_seconds": self._last_latency,
+            }
+
+    def close(self) -> None:
+        """Stop admitting work and let the worker exit after the backlog."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._queue.put(None)
+
+
+__all__ = ["BoundedWorkQueue", "WorkItem", "DEFAULT_CAPACITY"]

@@ -42,6 +42,71 @@ def test_batched_backend_fewer_calls_same_views(trained_model, mutagen_db):
     assert batched_s <= serial_s * 1.5, (batched_s, serial_s)
 
 
+def _load_runtime_bench():
+    """Import benchmarks/bench_runtime_scaling.py by path (not a package)."""
+    import importlib.util
+    from pathlib import Path
+
+    path = Path(__file__).parent.parent / "benchmarks" / "bench_runtime_scaling.py"
+    spec = importlib.util.spec_from_file_location("bench_runtime_scaling", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.slow
+def test_runtime_scaling_bench_smoke(trained_model, mutagen_db):
+    """The scaling bench's functions run end to end at smoke scale.
+
+    Wall-clock speedups are runner-dependent (the fork-pool >=2x
+    claim needs >=4 cores; see results/runtime_scaling.json), so the
+    smoke lane asserts structure plus the scheduler-independent
+    contract: identical labels at every worker count, and the warm
+    patched index strictly beating the per-request rebuild.
+    """
+    import os
+
+    bench = _load_runtime_bench()
+    config = GvexConfig(theta=0.08, radius=0.3, gamma=0.5).with_bounds(0, 6)
+
+    workers = bench.bench_workers(
+        mutagen_db, trained_model, config, workers=(1, 2)
+    )
+    assert [row["workers"] for row in workers] == [1, 2]
+    assert workers[0]["speedup_vs_serial"] == 1.0
+    assert all(row["labels"] == workers[0]["labels"] for row in workers)
+    if (os.cpu_count() or 1) >= 4 and workers[0]["seconds"] >= 2.0:
+        assert workers[1]["speedup_vs_serial"] >= 1.5
+
+    shard_rows = bench.bench_shard_size(
+        mutagen_db, trained_model, config, sizes=(1, None), processes=2
+    )
+    assert shard_rows[0]["shards"] >= shard_rows[1]["shards"]
+
+    warm = bench.bench_warm_index(mutagen_db, trained_model, config, repeats=8)
+    assert warm["speedup_x"] > 1.0
+    assert warm["hits_per_cycle"] > 0
+
+
+@pytest.mark.slow
+def test_warm_index_beats_rebuild_5x(trained_model):
+    """The serving claim: patched warm index >= 5x per-request rebuild.
+
+    Run at a serving-representative explanation count (an 80-graph
+    motif database, ~8.5x measured) where posting-list matching
+    dominates per-request rebuild cost, mirroring the checked-in
+    results/runtime_scaling.json numbers (10.8x on mutagenicity at
+    bench scale).
+    """
+    from tests.conftest import make_mutagen_db
+
+    bench = _load_runtime_bench()
+    config = GvexConfig(theta=0.08, radius=0.3, gamma=0.5).with_bounds(0, 6)
+    db = make_mutagen_db(40, seed=7)  # trained_model generalizes: same generator
+    warm = bench.bench_warm_index(db, trained_model, config, repeats=20)
+    assert warm["speedup_x"] >= 5.0, warm
+
+
 @pytest.mark.slow
 def test_parallel_composes_with_batched_backend(trained_model, mutagen_db):
     config = GvexConfig(theta=0.08, radius=0.3, gamma=0.5).with_bounds(0, 6)

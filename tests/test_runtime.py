@@ -1,0 +1,435 @@
+"""The ``repro.runtime`` execution engine contract.
+
+Three levels:
+
+* **plan** — label-group sharding: ascending order preserved, shard
+  sizing respects the verifier cache geometry and worker balance,
+  approx-method constructor overrides rejected;
+* **executor parity** — serial, fork-pool, and sharded executors
+  produce *bit-identical* view sets (nodes, scores, flags, patterns,
+  edge loss) on the trained motif model and across the synthetic zoo,
+  in paper and soft verification modes;
+* **work queue** — admission control: FIFO results, immediate
+  ``QueueFullError`` past capacity, counters; plus the serve path
+  under load (503 + queue metrics on /health) and bearer-token auth.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.config import GvexConfig, VERIFY_PAPER, VERIFY_SOFT
+from repro.datasets.registry import DATASETS, dataset_info, load_dataset
+from repro.exceptions import QueueFullError, RegistryError
+from repro.gnn.model import GnnClassifier
+from repro.runtime import (
+    BoundedWorkQueue,
+    ForkPoolExecutor,
+    SerialExecutor,
+    Shard,
+    ShardedExecutor,
+    build_plan,
+    make_executor,
+    run_plan,
+    shard_size_for,
+)
+from tests.test_golden_views import view_set_fingerprint
+
+ZOO = sorted(DATASETS)
+GRAPHS_PER_LABEL = 2
+
+
+def zoo_model(dataset: str) -> GnnClassifier:
+    info = dataset_info(dataset)
+    return GnnClassifier(
+        info.n_features, info.n_classes, hidden_dims=(8, 8), seed=0
+    )
+
+
+def limited_predicted(db, model, per_label: int):
+    """Predictions with each label group truncated to ``per_label``."""
+    seen = {}
+    out = []
+    for g in db:
+        label = model.predict(g)
+        if label is not None:
+            seen[label] = seen.get(label, 0) + 1
+            if seen[label] > per_label:
+                label = None
+        out.append(label)
+    return out
+
+
+# ----------------------------------------------------------------------
+# plan level
+# ----------------------------------------------------------------------
+class TestPlan:
+    def test_shards_preserve_group_order(self, trained_model, mutagen_db):
+        plan = build_plan(
+            mutagen_db, trained_model, GvexConfig().with_bounds(0, 4),
+            shard_size=3,
+        )
+        for label in plan.labels:
+            indices = plan.group_indices(label)
+            assert indices == sorted(indices)
+            for shard in plan.shards_for(label):
+                assert len(shard) <= 3
+        assert plan.n_tasks == sum(len(s) for s in plan.shards)
+
+    def test_shard_size_balances_workers(self, trained_model, mutagen_db):
+        config = GvexConfig().with_bounds(0, 4)
+        indices = list(range(len(mutagen_db)))
+        one = shard_size_for(mutagen_db, indices, config, 1, processes=1)
+        four = shard_size_for(mutagen_db, indices, config, 1, processes=4)
+        assert four <= one
+        assert four >= 1
+        # small graphs: the cache budget admits more than the balance
+        # cap, so balance decides
+        import math
+
+        assert four == math.ceil(len(indices) / 4)
+
+    def test_shard_size_respects_cache_budget(self, mutagen_db):
+        """A tiny element budget caps the shard regardless of balance."""
+        from repro.core.verifiers import BatchedGnnVerifier
+
+        config = GvexConfig().with_bounds(0, 4)
+        indices = list(range(len(mutagen_db)))
+        budget = BatchedGnnVerifier.BATCH_ELEMENT_BUDGET
+        widest = max(mutagen_db[i].n_nodes for i in indices)
+        try:
+            BatchedGnnVerifier.BATCH_ELEMENT_BUDGET = widest * widest * 4 * 2
+            assert shard_size_for(mutagen_db, indices, config, 1) <= 2
+        finally:
+            BatchedGnnVerifier.BATCH_ELEMENT_BUDGET = budget
+
+    def test_approx_rejects_constructor_overrides(
+        self, trained_model, mutagen_db
+    ):
+        with pytest.raises(RegistryError):
+            build_plan(
+                mutagen_db,
+                trained_model,
+                GvexConfig(),
+                method="gvex-approx",
+                explainer_kwargs={"rollouts": 3},
+            )
+
+    def test_labels_subset(self, trained_model, mutagen_db):
+        plan = build_plan(
+            mutagen_db, trained_model, GvexConfig().with_bounds(0, 4),
+            labels=[1],
+        )
+        assert plan.labels == (1,)
+        assert all(s.label == 1 for s in plan.shards)
+
+
+# ----------------------------------------------------------------------
+# executor parity: serial == fork-pool == sharded, bit for bit
+# ----------------------------------------------------------------------
+class TestExecutorParity:
+    @pytest.mark.parametrize("mode", [VERIFY_PAPER, VERIFY_SOFT])
+    def test_trained_model_parity(self, trained_model, mutagen_db, mode):
+        config = GvexConfig(
+            theta=0.08, radius=0.3, verification=mode
+        ).with_bounds(0, 6)
+        plan = build_plan(mutagen_db, trained_model, config, processes=2)
+        serial, _ = SerialExecutor().run(plan)
+        fork, _ = ForkPoolExecutor(processes=2).run(plan)
+        sharded, _ = ShardedExecutor(n_shards=3).run(plan)
+        want = view_set_fingerprint(serial)
+        assert view_set_fingerprint(fork) == want
+        assert view_set_fingerprint(sharded) == want
+
+    @pytest.mark.parametrize("mode", [VERIFY_PAPER, VERIFY_SOFT])
+    @pytest.mark.parametrize("dataset", ZOO)
+    def test_zoo_parity(self, dataset, mode):
+        """Bit-identical views on every synthetic-zoo dataset."""
+        db = load_dataset(dataset, scale="test", seed=0)
+        model = zoo_model(dataset)
+        config = GvexConfig(verification=mode).with_bounds(0, 5)
+        predicted = limited_predicted(db, model, GRAPHS_PER_LABEL)
+        plan = build_plan(db, model, config, predicted=predicted, processes=2)
+        assert plan.n_tasks > 0
+        serial, serial_stats = SerialExecutor().run(plan)
+        fork, fork_stats = ForkPoolExecutor(processes=2).run(plan)
+        sharded, _ = ShardedExecutor(n_shards=2).run(plan)
+        want = view_set_fingerprint(serial)
+        assert view_set_fingerprint(fork) == want, (dataset, mode)
+        assert view_set_fingerprint(sharded) == want, (dataset, mode)
+        # the fork pool schedules the same work: same launch count
+        assert fork_stats["inference_calls"] == serial_stats["inference_calls"]
+
+    def test_sharded_composes_with_fork_pool(self, trained_model, mutagen_db):
+        config = GvexConfig(theta=0.08, radius=0.3).with_bounds(0, 6)
+        plan = build_plan(mutagen_db, trained_model, config)
+        serial, _ = SerialExecutor().run(plan)
+        combo, _ = ShardedExecutor(
+            n_shards=2, inner=ForkPoolExecutor(processes=2)
+        ).run(plan)
+        assert view_set_fingerprint(combo) == view_set_fingerprint(serial)
+
+    def test_run_plan_helper_and_make_executor(
+        self, trained_model, mutagen_db
+    ):
+        config = GvexConfig(theta=0.08, radius=0.3).with_bounds(0, 6)
+        plan = build_plan(mutagen_db, trained_model, config)
+        views, stats = run_plan(plan, return_stats=True)
+        assert stats["inference_calls"] > 0
+        assert make_executor(1, 1).name == "serial"
+        assert make_executor(2, 1).name == "fork-pool"
+        assert make_executor(1, 2).name == "sharded"
+        with pytest.raises(ValueError):
+            make_executor(1, 0)
+
+    def test_native_stream_keeps_serial_semantics(
+        self, trained_model, mutagen_db
+    ):
+        """StreamGVEX owns its pipeline: fork/sharded must not
+        decompose it (different pattern tier) or duplicate full runs
+        per replica — both route to the serial path."""
+        config = GvexConfig(theta=0.08, radius=0.3).with_bounds(0, 6)
+        plan = build_plan(
+            mutagen_db, trained_model, config, method="gvex-stream"
+        )
+        serial, _ = SerialExecutor().run(plan)
+        fork, _ = ForkPoolExecutor(processes=2).run(plan)
+        sharded, _ = ShardedExecutor(n_shards=3).run(plan)
+        want = view_set_fingerprint(serial)
+        assert view_set_fingerprint(fork) == want
+        assert view_set_fingerprint(sharded) == want
+
+    def test_baseline_method_through_executors(
+        self, trained_model, mutagen_db
+    ):
+        """Non-GVEX registry methods schedule through the runtime too.
+
+        The random baseline is seeded per worker, so the contract is
+        structural: same label groups, same explained graphs, size
+        bounds honored.
+        """
+        config = GvexConfig().with_bounds(0, 4)
+        plan = build_plan(
+            mutagen_db, trained_model, config, method="random", seed=3
+        )
+        serial, _ = SerialExecutor().run(plan)
+        fork, _ = ForkPoolExecutor(processes=2).run(plan)
+        assert serial.labels == fork.labels
+        for label in serial.labels:
+            assert [s.graph_index for s in serial[label].subgraphs] == [
+                s.graph_index for s in fork[label].subgraphs
+            ]
+            assert all(s.n_nodes <= 4 for s in fork[label].subgraphs)
+
+
+# ----------------------------------------------------------------------
+# the bounded work queue
+# ----------------------------------------------------------------------
+class TestBoundedWorkQueue:
+    def test_fifo_results(self):
+        q = BoundedWorkQueue(capacity=8)
+        try:
+            items = [q.submit(lambda i=i: i * i) for i in range(5)]
+            assert [item.result(timeout=5) for item in items] == [
+                0, 1, 4, 9, 16
+            ]
+            stats = q.stats()
+            assert stats["submitted"] == 5
+            assert stats["completed"] == 5
+            assert stats["rejected"] == 0
+            assert stats["depth"] == 0
+        finally:
+            q.close()
+
+    def test_rejects_past_capacity(self):
+        release = threading.Event()
+        q = BoundedWorkQueue(capacity=2)
+        try:
+            blocker = q.submit(release.wait)  # occupies the worker
+            time.sleep(0.05)  # let the worker pick it up
+            q.submit(lambda: 1)
+            q.submit(lambda: 2)
+            with pytest.raises(QueueFullError):
+                q.submit(lambda: 3)
+            assert q.stats()["rejected"] == 1
+            release.set()
+            blocker.result(timeout=5)
+        finally:
+            release.set()
+            q.close()
+
+    def test_error_propagates_and_counts(self):
+        q = BoundedWorkQueue(capacity=2)
+        try:
+            item = q.submit(lambda: 1 / 0)
+            with pytest.raises(ZeroDivisionError):
+                item.result(timeout=5)
+            assert q.stats()["failed"] == 1
+            # the queue keeps draining after a failure
+            assert q.run(lambda: 7, timeout=5) == 7
+        finally:
+            q.close()
+
+    def test_closed_queue_rejects(self):
+        q = BoundedWorkQueue(capacity=1)
+        q.close()
+        with pytest.raises(QueueFullError):
+            q.submit(lambda: 1)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedWorkQueue(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# serve under load: backpressure + auth over a live socket
+# ----------------------------------------------------------------------
+def _get(base, path, token=None):
+    req = urllib.request.Request(base + path)
+    if token:
+        req.add_header("Authorization", f"Bearer {token}")
+    with urllib.request.urlopen(req, timeout=10) as r:
+        return r.status, json.loads(r.read())
+
+
+def _post(base, path, body, token=None):
+    req = urllib.request.Request(
+        base + path,
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    if token:
+        req.add_header("Authorization", f"Bearer {token}")
+    try:
+        with urllib.request.urlopen(req, timeout=60) as r:
+            return r.status, json.loads(r.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+@pytest.fixture()
+def slow_server(trained_model, mutagen_db, monkeypatch):
+    """A live server whose explains block until released (capacity 1)."""
+    from repro.api import ExplanationService, create_server
+
+    svc = ExplanationService(
+        db=mutagen_db,
+        model=trained_model,
+        config=GvexConfig(theta=0.08, radius=0.3).with_bounds(0, 6),
+    )
+    release = threading.Event()
+
+    real_explain = svc.explain
+
+    def gated_explain(*args, **kwargs):
+        release.wait(timeout=30)
+        return real_explain(*args, **kwargs)
+
+    monkeypatch.setattr(svc, "explain", gated_explain)
+    server = create_server(svc, port=0, queue_capacity=1)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server.url, release
+    release.set()
+    server.shutdown()
+    server.server_close()
+
+
+class TestServeUnderLoad:
+    def test_queue_full_is_503_with_metrics(self, slow_server):
+        base, release = slow_server
+        statuses = []
+        lock = threading.Lock()
+
+        def fire():
+            status, _ = _post(base, "/explain", {"method": "gvex-approx"})
+            with lock:
+                statuses.append(status)
+
+        threads = [threading.Thread(target=fire) for _ in range(4)]
+        for t in threads:
+            t.start()
+            time.sleep(0.05)  # deterministic arrival order
+
+        # while the first explain blocks, the queue holds one more;
+        # the rest must be rejected with 503 immediately
+        deadline = time.time() + 10
+        while time.time() < deadline:
+            with lock:
+                if statuses.count(503) >= 2:
+                    break
+            time.sleep(0.05)
+        with lock:
+            assert statuses.count(503) >= 2, statuses
+
+        _, health = _get(base, "/health")
+        assert health["queue"]["capacity"] == 1
+        assert health["queue"]["rejected"] >= 2
+        assert health["queue"]["depth"] >= 1
+
+        release.set()
+        for t in threads:
+            t.join(timeout=60)
+        # at least the in-flight explain finishes; depending on worker
+        # pickup timing the queued slot held one more
+        accepted = statuses.count(200)
+        assert accepted >= 1 and accepted + statuses.count(503) == 4, statuses
+        _, health = _get(base, "/health")
+        assert health["queue"]["completed"] == accepted
+        assert health["queue"]["depth"] == 0
+        assert health["queue"]["avg_run_seconds"] > 0
+
+
+@pytest.fixture(scope="module")
+def auth_server(trained_model, mutagen_db):
+    from repro.api import ExplanationService, create_server
+
+    svc = ExplanationService(
+        db=mutagen_db,
+        model=trained_model,
+        config=GvexConfig(theta=0.08, radius=0.3).with_bounds(0, 6),
+    )
+    server = create_server(svc, port=0, auth_token="sesame-42")
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server.url
+    server.shutdown()
+    server.server_close()
+
+
+class TestAuthToken:
+    def test_post_requires_bearer_token(self, auth_server):
+        status, body = _post(auth_server, "/explain", {"method": "gvex-approx"})
+        assert status == 401
+        assert "token" in body["error"]
+        status, _ = _post(
+            auth_server, "/explain", {"method": "gvex-approx"}, token="wrong"
+        )
+        assert status == 401
+
+    def test_post_with_token_succeeds_and_reads_stay_open(self, auth_server):
+        status, health = _get(auth_server, "/health")
+        assert status == 200
+        assert health["auth"] is True
+        status, summary = _post(
+            auth_server,
+            "/explain",
+            {"method": "gvex-approx"},
+            token="sesame-42",
+        )
+        assert status == 200
+        assert summary["method"] == "gvex-approx"
+        status, result = _post(
+            auth_server,
+            "/query",
+            {"pattern": {"node_types": [1, 2], "edges": [[0, 1, 0]]}},
+            token="sesame-42",
+        )
+        assert status == 200
+        assert "matches" in result

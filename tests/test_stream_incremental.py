@@ -318,3 +318,92 @@ def test_prefetch_extensions_empty_base_and_serial_fallback(mutagen_db):
             {v}, 0
         ) == batched.subset_probability({v}, 0)
     assert serial.inference_calls == 3  # lazy reference schedule kept
+
+
+# ----------------------------------------------------------------------
+# extend_power_sequence: factored rank update + correction re-anchoring
+# ----------------------------------------------------------------------
+def _grown_propagation(m_old, b, seed):
+    """(P_old, P_new, positions) for a graph grown by ``b`` nodes.
+
+    Arrivals interleave: the old nodes scatter into the new index
+    space, exactly like StreamGVEX's permutation-scatter case. The
+    old propagation matrix is the induced block of the new adjacency,
+    so unchanged entries are bit-equal (the elementwise construction
+    the factored update relies on).
+    """
+    from repro.gnn.propagation import normalize_dense
+
+    rng = np.random.default_rng(seed)
+    m = m_old + b
+    A = np.zeros((m, m))
+    n_edges = int(rng.integers(m, 2 * m + 1))
+    for _ in range(n_edges):
+        u, v = (int(x) for x in rng.integers(0, m, size=2))
+        if u != v:
+            A[u, v] = A[v, u] = 1.0
+    pos = np.sort(rng.choice(m, size=m_old, replace=False))
+    A_old = A[np.ix_(pos, pos)]
+    return normalize_dense(A_old), normalize_dense(A), pos
+
+
+def _correction_rank(P_new, prev_powers, pos):
+    """Replicate the routine's rank computation for branch assertions."""
+    m = P_new.shape[0]
+    E = np.zeros((m, m))
+    E[np.ix_(pos, pos)] = prev_powers[0]
+    delta = P_new - E
+    rows = np.nonzero(np.any(delta != 0.0, axis=1))[0]
+    rest = delta.copy()
+    rest[rows] = 0.0
+    cols = np.nonzero(np.any(rest != 0.0, axis=0))[0]
+    return rows.size + cols.size
+
+
+@given(
+    m_old=st.integers(3, 9),
+    b=st.integers(1, 4),
+    k=st.integers(1, 4),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_extend_power_sequence_matches_dense(m_old, b, k, seed):
+    """Factored + re-anchored powers equal the dense recursion."""
+    from repro.gnn.propagation import extend_power_sequence, power_sequence
+
+    P_old, P_new, pos = _grown_propagation(m_old, b, seed)
+    prev = power_sequence(P_old, k)
+    got = extend_power_sequence(prev, P_new, pos)
+    want = power_sequence(P_new, k)
+    assert len(got) == k
+    for g, w in zip(got, want):
+        np.testing.assert_allclose(g, w, atol=1e-10, rtol=1e-9)
+
+
+def test_reanchor_path_replaces_dense_rebuild():
+    """A case the old code sent to the full dense rebuild now re-anchors.
+
+    The regression target: ``b + rank < m`` (first step is low-rank,
+    the factored path starts) but ``b + k·rank >= m`` (the old upfront
+    check would have abandoned it entirely). The result must still
+    match the dense recursion.
+    """
+    from repro.gnn.propagation import extend_power_sequence, power_sequence
+
+    found = 0
+    for seed in range(200):
+        m_old, b, k = 8, 3, 3
+        P_old, P_new, pos = _grown_propagation(m_old, b, seed)
+        prev = power_sequence(P_old, k)
+        rank = _correction_rank(P_new, prev, pos)
+        m = P_new.shape[0]
+        if not (b + rank < m and b + k * rank >= m):
+            continue  # not the re-anchor regime
+        found += 1
+        got = extend_power_sequence(prev, P_new, pos)
+        want = power_sequence(P_new, k)
+        for g, w in zip(got, want):
+            np.testing.assert_allclose(g, w, atol=1e-10, rtol=1e-9)
+        if found >= 5:
+            break
+    assert found >= 1, "no seed exercised the re-anchor branch"

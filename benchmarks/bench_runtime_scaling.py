@@ -102,7 +102,16 @@ def bench_warm_index(db, model, config: GvexConfig, repeats: int = 10) -> Dict:
     (bit-identical) view set — modeled by a deep copy, so object
     identity cannot short-circuit either arm — and the paper's pattern
     queries run against it.
+
+    Both arms run the *reference* matching backend: the fast tier's
+    process-wide plan cache (docs/matching.md) keys by graph content,
+    so a rebuilt index over deep-copied views answers its posting
+    builds from the shared memo and the rebuild arm collapses toward
+    the warm arm — that cross-request caching is benched by
+    ``bench_matching.py``; this experiment isolates incremental
+    posting maintenance vs rebuild.
     """
+    from repro.config import MATCH_REFERENCE
     from repro.graphs.pattern import Pattern
 
     views = run_plan(build_plan(db, model, config))
@@ -129,10 +138,10 @@ def bench_warm_index(db, model, config: GvexConfig, repeats: int = 10) -> Dict:
     start = time.perf_counter()
     rebuild_hits = 0
     for vs in fresh_sets:
-        rebuild_hits += query_all(ViewIndex(vs, db=db))
+        rebuild_hits += query_all(ViewIndex(vs, db=db, backend=MATCH_REFERENCE))
     rebuild_s = time.perf_counter() - start
 
-    warm = ViewIndex(views, db=db)
+    warm = ViewIndex(views, db=db, backend=MATCH_REFERENCE)
     query_all(warm)  # build the posting lists once
     fresh_sets = [copy.deepcopy(views) for _ in range(repeats)]
     start = time.perf_counter()

@@ -1,5 +1,6 @@
 #!/usr/bin/env python
-"""Public-API snapshot check for ``repro.api`` and ``repro.runtime``.
+"""Public-API snapshot check for ``repro.api``/``repro.runtime``/
+``repro.matching``.
 
 Compares the symbols exported by the supported surfaces (their
 ``__all__``) against the committed manifest
@@ -12,7 +13,9 @@ deprecation (docs/api.md) — fails the CI docs lane::
 
 ``repro.api`` symbols appear bare; ``repro.runtime`` symbols are
 prefixed ``runtime.`` (the execution engine is its own supported
-surface, see docs/runtime.md). Exports are read by importing the
+surface, see docs/runtime.md) and ``repro.matching`` symbols
+``matching.`` (the pattern-matching tier, see docs/matching.md).
+Exports are read by importing the
 modules when the runtime dependencies (numpy) are available, and by
 statically parsing each package ``__init__.py`` otherwise, so the
 check also runs in the dependency-free docs lane.
@@ -31,6 +34,11 @@ MANIFEST = REPO / "scripts" / "api_surface.txt"
 SURFACES = [
     ("repro.api", REPO / "src" / "repro" / "api" / "__init__.py", ""),
     ("repro.runtime", REPO / "src" / "repro" / "runtime" / "__init__.py", "runtime."),
+    (
+        "repro.matching",
+        REPO / "src" / "repro" / "matching" / "__init__.py",
+        "matching.",
+    ),
 ]
 
 
@@ -92,7 +100,8 @@ def main(argv: "list[str]" = sys.argv[1:]) -> int:
     if "--update" in argv:
         MANIFEST.write_text(
             "# Snapshot of the supported public surfaces: repro.api.__all__\n"
-            "# (bare names) and repro.runtime.__all__ ('runtime.' prefix).\n"
+            "# (bare names), repro.runtime.__all__ ('runtime.' prefix), and\n"
+            "# repro.matching.__all__ ('matching.' prefix).\n"
             "# Regenerate with: python scripts/check_api_surface.py --update\n"
             "# Changing this file is an API change; see docs/api.md.\n"
             + "\n".join(actual)
@@ -116,8 +125,8 @@ def main(argv: "list[str]" = sys.argv[1:]) -> int:
         )
         return 1
     print(
-        f"repro.api + repro.runtime surface matches manifest "
-        f"({len(actual)} symbols)"
+        f"repro.api + repro.runtime + repro.matching surface matches "
+        f"manifest ({len(actual)} symbols)"
     )
     return 0
 

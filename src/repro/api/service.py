@@ -176,6 +176,7 @@ class ExplanationService:
         processes: int = 1,
         n_shards: int = 1,
         seed: Optional[Any] = None,
+        shard_stats: Optional[Mapping] = None,
         **overrides: Any,
     ) -> ViewSet:
         """Generate explanation views with any registered explainer.
@@ -184,9 +185,11 @@ class ExplanationService:
         ``stream``, ``SX``, ...). Scheduling always goes through the
         :mod:`repro.runtime` plan/executor engine: ``processes > 1``
         forks a warm-state worker pool, ``n_shards > 1`` runs the
-        replica-sharding simulation and merges partial views. The
-        produced views become the service's current views (queryable
-        via :meth:`query`).
+        replica-sharding simulation and merges partial views.
+        ``shard_stats`` (parsed ``results/runtime_scaling.json``
+        content; CLI ``--shard-stats``) feeds observed wall-clock back
+        into shard sizing. The produced views become the service's
+        current views (queryable via :meth:`query`).
         """
         spec = get_spec(method)
         config = config if config is not None else self.config
@@ -202,6 +205,7 @@ class ExplanationService:
             seed=seed,
             explainer_kwargs=overrides,
             processes=processes,
+            shard_stats=shard_stats,
         )
         views = run_plan(plan, processes=processes, n_shards=n_shards)
         self.last_method = spec.name
@@ -253,7 +257,9 @@ class ExplanationService:
     def index(self) -> ViewIndex:
         """Inverted-index query engine over the current views."""
         if self._index is None:
-            self._index = ViewIndex(self.views, db=self.db)
+            self._index = ViewIndex(
+                self.views, db=self.db, backend=self.config.matching_backend
+            )
         return self._index
 
     def query(self, query: Query) -> List[PatternOccurrence]:

@@ -37,6 +37,8 @@ from repro.api import (
 from repro.api.server import DEFAULT_HOST, DEFAULT_PORT
 from repro.config import (
     BACKEND_BATCHED,
+    MATCH_FAST,
+    MATCHING_BACKENDS,
     STREAM_INC_MODES,
     STREAM_INCREMENTAL,
     VERIFIER_BACKENDS,
@@ -95,6 +97,14 @@ def build_parser() -> argparse.ArgumentParser:
         "both produce identical views (see docs/verification.md)",
     )
     p_explain.add_argument(
+        "--matching-backend",
+        choices=list(MATCHING_BACKENDS),
+        default=MATCH_FAST,
+        help="PMatch backend: fast (default; bitset contexts + plan "
+        "cache) or the pure-Python reference; both produce identical "
+        "views (see docs/matching.md)",
+    )
+    p_explain.add_argument(
         "--stream-inc",
         choices=list(STREAM_INC_MODES),
         default=STREAM_INCREMENTAL,
@@ -119,6 +129,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="replica-shard the database N ways and merge partial views "
         "(repro.runtime sharded executor; composes with --processes)",
+    )
+    p_explain.add_argument(
+        "--shard-stats",
+        default=None,
+        help="path to a results/runtime_scaling.json-style stats file; "
+        "observed per-shard wall-clock feeds back into shard sizing "
+        "(adaptive rebalancing of skewed label groups)",
     )
     p_explain.add_argument("--out", required=True, help="output views .json path")
 
@@ -235,8 +252,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             radius=args.radius,
             gamma=args.gamma,
             verifier_backend=args.backend,
+            matching_backend=args.matching_backend,
             stream_inc=args.stream_inc,
         ).with_bounds(args.lower, args.upper)
+        shard_stats = None
+        if args.shard_stats:
+            stats_path = Path(args.shard_stats)
+            if not stats_path.exists():
+                raise SystemExit(f"shard stats file not found: {args.shard_stats}")
+            shard_stats = json.loads(stats_path.read_text())
         svc = _service(args, config)
         _attach_model(svc, args)
         views = svc.explain(
@@ -244,6 +268,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             labels=args.labels if args.labels else None,
             processes=args.processes,
             n_shards=args.shards,
+            shard_stats=shard_stats,
         )
         svc.persist(args.out)
         for view in views:

@@ -58,6 +58,16 @@ STREAM_INCREMENTAL = "incremental"
 
 STREAM_INC_MODES = (STREAM_REBUILD, STREAM_INCREMENTAL)
 
+#: Reference ``PMatch``: pure-Python VF2 backtracking with per-pair
+#: set probes and no cross-call caching (the seed implementation).
+MATCH_REFERENCE = "reference"
+#: Bitset ``PMatch``: precomputed per-host match contexts, packed-
+#: bitset VF2 feasibility, and the process-wide match-plan cache
+#: (default; enumeration-order identical to reference).
+MATCH_FAST = "fast"
+
+MATCHING_BACKENDS = (MATCH_REFERENCE, MATCH_FAST)
+
 
 @dataclass(frozen=True)
 class CoverageConstraint:
@@ -111,6 +121,14 @@ class GvexConfig:
         frontier at a time with stacked forward passes; ``"serial"`` is
         the one-subset-per-forward reference. Both backends return
         bit-identical probabilities, so selections never differ.
+    matching_backend:
+        One of :data:`MATCHING_BACKENDS` — how ``PMatch`` runs pattern
+        matching. ``"fast"`` (default) uses per-host bitset match
+        contexts plus the process-wide match-plan cache; ``"reference"``
+        is the pure-Python VF2 seed implementation. Both enumerate
+        matchings in the same deterministic order, so coverage sets,
+        mined patterns, and views are bit-identical
+        (see docs/matching.md).
     jacobian:
         One of :data:`JACOBIAN_MODES` for feature-influence computation.
     max_pattern_size:
@@ -130,6 +148,9 @@ class GvexConfig:
     #: EVerify backend: ``"batched"`` (default) or the ``"serial"``
     #: reference implementation (see docs/verification.md)
     verifier_backend: str = BACKEND_BATCHED
+    #: PMatch backend: ``"fast"`` (default) or the ``"reference"``
+    #: pure-Python VF2 (see docs/matching.md)
+    matching_backend: str = MATCH_FAST
     jacobian: str = JACOBIAN_EXPECTED
     max_pattern_size: int = 5
     min_pattern_support: int = 1
@@ -161,6 +182,11 @@ class GvexConfig:
             raise ConfigurationError(
                 f"verifier_backend must be one of {VERIFIER_BACKENDS}, "
                 f"got {self.verifier_backend!r}"
+            )
+        if self.matching_backend not in MATCHING_BACKENDS:
+            raise ConfigurationError(
+                f"matching_backend must be one of {MATCHING_BACKENDS}, "
+                f"got {self.matching_backend!r}"
             )
         if self.jacobian not in JACOBIAN_MODES:
             raise ConfigurationError(
@@ -270,6 +296,9 @@ __all__ = [
     "BACKEND_SERIAL",
     "BACKEND_BATCHED",
     "VERIFIER_BACKENDS",
+    "MATCH_REFERENCE",
+    "MATCH_FAST",
+    "MATCHING_BACKENDS",
     "STREAM_REBUILD",
     "STREAM_INCREMENTAL",
     "STREAM_INC_MODES",

@@ -85,7 +85,10 @@ def explain_graph(
     if mode == VERIFY_PAPER:
         _grow_paper_mode(graph, verifier, oracle, state, backup, label, lower, upper)
     else:
-        _grow_lazy(graph, verifier, oracle, state, backup, label, lower, upper, mode)
+        _grow_lazy(
+            graph, verifier, oracle, state, backup, label, lower, upper, mode,
+            matching_backend=config.matching_backend,
+        )
 
     # lower-bound phase: keep growing from the backup pool (lines 10-15),
     # verifying the whole pool as one frontier per round
@@ -135,6 +138,7 @@ def _grow_lazy(
     lower: int,
     upper: int,
     mode: str,
+    matching_backend: Optional[str] = None,
 ) -> None:
     """Lazy-greedy growth for the soft/none modes.
 
@@ -232,7 +236,10 @@ def _grow_lazy(
                 )
                 novelty = (
                     _pattern_novelty(
-                        graph, state.selected, {v: pool[v] for v in top}
+                        graph,
+                        state.selected,
+                        {v: pool[v] for v in top},
+                        backend=matching_backend,
                     )
                     if len(top) > 1
                     else {v: True for v in top}
@@ -263,7 +270,10 @@ def _grow_lazy(
 
 
 def _pattern_novelty(
-    graph: Graph, selected: Set[int], pool: Dict[int, float]
+    graph: Graph,
+    selected: Set[int],
+    pool: Dict[int, float],
+    backend: Optional[str] = None,
 ) -> Dict[int, bool]:
     """Whether each candidate contributes a new (>=2-node) pattern.
 
@@ -278,7 +288,10 @@ def _pattern_novelty(
     if not selected:
         return {v: True for v in pool}
     sel_sub, _ = graph.induced_subgraph(selected)
-    known = [m.pattern for m in mine_patterns([sel_sub], max_size=3)]
+    known = [
+        m.pattern
+        for m in mine_patterns([sel_sub], max_size=3, backend=backend)
+    ]
     known.extend(
         Pattern.singleton(int(t)) for t in set(graph.node_types.tolist())
     )
@@ -292,6 +305,7 @@ def _pattern_novelty(
             radius=2,
             known=known,
             max_size=3,
+            backend=backend,
         )
         out[v] = any(p.n_nodes >= 2 for p in delta)
     return out

@@ -146,6 +146,12 @@ class StreamGvex:
         selected: Set[int] = set()  # global node ids
         backup: Set[int] = set()
         patterns: List[Pattern] = []
+        # canonization memo for IncUpdateP: maps source-graph node
+        # subsets of admitted V_S subgraphs to their induced Pattern
+        # (with its cached WL key), so chunk-over-chunk re-mining stops
+        # re-canonizing subsets it already saw (ROADMAP open item);
+        # evicted when the repair scan mutates the selection
+        psum_memo: Dict[Tuple[int, ...], Pattern] = {}
         snapshots: List[AnytimeSnapshot] = []
         oracle: Optional[ExplainabilityOracle] = None
         state: Optional[SelectionState] = None
@@ -194,7 +200,7 @@ class StreamGvex:
                 )
                 if took:
                     self._inc_update_p(
-                        graph, selected, patterns, config
+                        graph, selected, patterns, config, memo=psum_memo
                     )
             assert oracle is not None and state is not None
             snapshots.append(
@@ -254,13 +260,14 @@ class StreamGvex:
             ):
                 break
             selected.add(best)
+            psum_memo.clear()  # repair-scan mutation: evict stale memo
             if best in to_local:
                 oracle.add(state, to_local[best])
 
         nodes = tuple(sorted(selected))
         sub, _ = graph.induced_subgraph(nodes)
         consistent, counterfactual = verifier.check(nodes, label)
-        self._inc_update_p(graph, selected, patterns, config)
+        self._inc_update_p(graph, selected, patterns, config, memo=psum_memo)
         score = oracle.value_of_state(state)
         return StreamResult(
             subgraph=ExplanationSubgraph(
@@ -314,6 +321,7 @@ class StreamGvex:
             radius=self.config.stream_radius,
             known=patterns,
             max_size=self.config.max_pattern_size,
+            backend=self.config.matching_backend,
         )
         if not delta:
             return False
@@ -343,6 +351,7 @@ class StreamGvex:
         selected: Set[int],
         patterns: List[Pattern],
         config: GvexConfig,
+        memo: Optional[Dict[Tuple[int, ...], Pattern]] = None,
     ) -> None:
         """Procedure 5: keep patterns covering ``V_S`` with small edge loss.
 
@@ -350,11 +359,16 @@ class StreamGvex:
         subgraph of ``V_S``, with the incumbent patterns plus freshly
         mined candidates as the pool; incumbents that no longer
         contribute coverage are swapped out exactly as the paper's
-        case analysis prescribes.
+        case analysis prescribes. ``memo`` caches the induced Pattern
+        (hence its canonical WL key) per source-node subset across the
+        stream's repeated calls — each admitted node re-mines a ``V_S``
+        that overlaps the previous one almost entirely, and memoized
+        subsets skip Pattern construction and re-canonization while
+        producing byte-identical candidates.
         """
         if not selected:
             return
-        vs_sub, _ = graph.induced_subgraph(selected)
+        vs_sub, vs_ids = graph.induced_subgraph(selected)
         pool: List[MinedPattern] = [
             MinedPattern(p, support=1, embeddings=1) for p in patterns
         ]
@@ -364,6 +378,9 @@ class StreamGvex:
                 max_size=config.max_pattern_size,
                 min_support=1,
                 max_candidates=50,
+                backend=config.matching_backend,
+                subset_keys=[vs_ids] if memo is not None else None,
+                pattern_memo=memo,
             )
         )
         result = summarize([vs_sub], config, candidates=pool)

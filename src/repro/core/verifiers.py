@@ -454,7 +454,7 @@ def verify_view(
     # C1: patterns cover all subgraph nodes
     hosts = [s.subgraph for s in view.subgraphs]
     if hosts:
-        index = CoverageIndex(hosts)
+        index = CoverageIndex(hosts, backend=config.matching_backend)
         c1 = index.covers_all_nodes(view.patterns)
     else:
         c1 = not view.patterns  # empty view is vacuously a graph view

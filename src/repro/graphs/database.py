@@ -83,6 +83,35 @@ class GraphDatabase:
             groups.setdefault(l, []).append(i)
         return groups
 
+    def extend(
+        self,
+        graphs: Sequence[Graph],
+        labels: Optional[Sequence[Hashable]] = None,
+    ) -> range:
+        """Append graphs (a streamed chunk arrival); returns their indices.
+
+        Labelled databases must receive one label per graph; unlabelled
+        ones must receive none — partial labelling would silently break
+        :meth:`label_of` for the existing prefix.
+        """
+        graphs = list(graphs)
+        if self.labels is not None:
+            if labels is None or len(labels) != len(graphs):
+                raise DatasetError(
+                    f"labelled database {self.name!r} needs one label per "
+                    f"appended graph, got {None if labels is None else len(labels)} "
+                    f"for {len(graphs)} graphs"
+                )
+        elif labels is not None:
+            raise DatasetError(
+                f"database {self.name!r} is unlabelled; cannot append labels"
+            )
+        start = len(self.graphs)
+        self.graphs.extend(graphs)
+        if self.labels is not None and labels is not None:
+            self.labels.extend(labels)
+        return range(start, len(self.graphs))
+
     def subset(self, indices: Iterable[int], name: Optional[str] = None) -> "GraphDatabase":
         idx = list(indices)
         labels = None if self.labels is None else [self.labels[i] for i in idx]

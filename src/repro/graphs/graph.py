@@ -44,7 +44,15 @@ class Graph:
         Whether edges are directed.
     """
 
-    __slots__ = ("node_types", "_features", "directed", "_adj", "_radj", "edge_types")
+    __slots__ = (
+        "node_types",
+        "_features",
+        "directed",
+        "_adj",
+        "_radj",
+        "edge_types",
+        "_content_key",
+    )
 
     def __init__(
         self,
@@ -70,6 +78,10 @@ class Graph:
             [set() for _ in range(n)] if directed else None
         )
         self.edge_types: Dict[EdgeKey, int] = {}
+        #: memo for matching.context.graph_content_key (type/edge
+        #: digest; features excluded — matching never reads them);
+        #: invalidated on mutation
+        self._content_key: Optional[str] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -88,6 +100,7 @@ class Graph:
                 f"edge {key} already present with type {existing}, got {edge_type}"
             )
         self.edge_types[key] = edge_type
+        self._content_key = None
         self._adj[u].add(v)
         if self.directed:
             assert self._radj is not None
@@ -259,6 +272,26 @@ class Graph:
                     seen.add(w)
                     stack.append(w)
         return seen == subset
+
+    def content_key(self) -> str:
+        """Stable digest of (directed flag, node types, typed edges).
+
+        Two graphs share a key iff they are identical under the
+        *identity* node mapping — features excluded (pattern matching
+        never reads them). Memoized; mutation via :meth:`add_edge`
+        invalidates. The matching tier keys its process-wide caches on
+        this (see docs/matching.md).
+        """
+        if self._content_key is None:
+            import hashlib
+
+            h = hashlib.sha1()
+            h.update(b"d" if self.directed else b"u")
+            h.update(np.ascontiguousarray(self.node_types).tobytes())
+            for (u, v), t in sorted(self.edge_types.items()):
+                h.update(f"{u},{v},{t};".encode())
+            self._content_key = h.hexdigest()
+        return self._content_key
 
     # ------------------------------------------------------------------
     # dunder / misc

@@ -87,9 +87,19 @@ class Pattern:
         Distinct patterns may (rarely) share a key; exact deduplication
         resolves collisions with an isomorphism test
         (:func:`repro.matching.canonical.deduplicate_patterns`).
+        Memoized per object and process-wide per graph content —
+        serving paths re-create byte-identical patterns per request,
+        and WL refinement is the costliest step of registering one.
         """
         if self._key is None:
-            self._key = _wl_key(self.graph)
+            content = self.graph.content_key()
+            cached = _WL_KEY_MEMO.get(content)
+            if cached is None:
+                cached = _wl_key(self.graph)
+                if len(_WL_KEY_MEMO) >= _WL_KEY_MEMO_CAP:
+                    _WL_KEY_MEMO.clear()
+                _WL_KEY_MEMO[content] = cached
+            self._key = cached
         return self._key
 
     def __eq__(self, other: object) -> bool:
@@ -102,6 +112,12 @@ class Pattern:
 
     def __repr__(self) -> str:
         return f"<Pattern n={self.n_nodes} m={self.n_edges} key={self.key()[:8]}>"
+
+
+#: process-wide content-key -> WL-key memo (WL is a pure function of
+#: graph content); bounded by periodic reset
+_WL_KEY_MEMO: Dict[str, str] = {}
+_WL_KEY_MEMO_CAP = 100_000
 
 
 def _wl_key(graph: Graph, iterations: int = 3) -> str:

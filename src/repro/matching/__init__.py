@@ -1,19 +1,38 @@
-"""Matching substrate: induced subgraph isomorphism and pattern coverage."""
+"""Matching substrate: induced subgraph isomorphism and pattern coverage.
+
+Two backends (``GvexConfig.matching_backend``, process default
+:func:`set_default_backend`): the ``"reference"`` pure-Python VF2 and
+the ``"fast"`` bitset tier — per-host :class:`MatchContext`\\ s, a
+process-wide :data:`PLAN_CACHE`, and database-batched :func:`pmatch`.
+Both enumerate matchings in the same deterministic order; see
+``docs/matching.md`` for the contract.
+"""
 
 from repro.matching.canonical import deduplicate_patterns, pattern_identity
+from repro.matching.context import (
+    MatchContext,
+    MatchPlan,
+    graph_content_key,
+    matching_order,
+)
 from repro.matching.coverage import (
     CoverageIndex,
     PatternCoverage,
     covered_node_count,
     match_coverage,
+    pmatch,
 )
 from repro.matching.incremental import IncrementalMatcher
 from repro.matching.isomorphism import (
     are_isomorphic,
     find_isomorphisms,
     first_isomorphism,
+    get_default_backend,
     is_subgraph_isomorphic,
+    resolve_backend,
+    set_default_backend,
 )
+from repro.matching.plan_cache import PLAN_CACHE, MatchPlanCache
 
 __all__ = [
     "find_isomorphisms",
@@ -25,6 +44,16 @@ __all__ = [
     "CoverageIndex",
     "PatternCoverage",
     "match_coverage",
+    "pmatch",
     "covered_node_count",
     "IncrementalMatcher",
+    "MatchContext",
+    "MatchPlan",
+    "MatchPlanCache",
+    "PLAN_CACHE",
+    "graph_content_key",
+    "matching_order",
+    "get_default_backend",
+    "set_default_backend",
+    "resolve_backend",
 ]

@@ -1,0 +1,93 @@
+"""Packed-bitset primitives for the fast matching backend.
+
+Node sets over an ``n``-node host are stored as little-endian uint64
+word arrays: node ``v`` lives in word ``v >> 6`` at bit ``v & 63``.
+The VF2 feasibility test then becomes a handful of word-wise AND /
+AND-NOT operations instead of per-pair set probes, and candidate
+enumeration walks set bits in ascending node order — which is exactly
+the reference matcher's deterministic candidate order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+import numpy as np
+
+#: bits per word
+WORD_BITS = 64
+
+#: per-byte set-bit positions, ascending — drives :func:`iter_bits`
+_BYTE_BITS: List[List[int]] = [
+    [b for b in range(8) if byte >> b & 1] for byte in range(256)
+]
+
+
+def n_words(n_bits: int) -> int:
+    """Words needed to hold ``n_bits`` bits."""
+    return (n_bits + WORD_BITS - 1) // WORD_BITS
+
+
+def zeros(n_bits: int) -> np.ndarray:
+    """An all-clear bitset for ``n_bits`` bits."""
+    return np.zeros(n_words(n_bits), dtype=np.uint64)
+
+
+def from_indices(indices: Iterable[int], n_bits: int) -> np.ndarray:
+    """Bitset with exactly ``indices`` set."""
+    words = zeros(n_bits)
+    for v in indices:
+        words[v >> 6] |= np.uint64(1 << (v & 63))
+    return words
+
+
+def from_bool(mask: np.ndarray) -> np.ndarray:
+    """Pack a boolean array into words (index ``i`` -> bit ``i``)."""
+    n = len(mask)
+    padded = np.zeros(n_words(n) * WORD_BITS, dtype=np.uint8)
+    padded[:n] = np.asarray(mask, dtype=np.uint8)
+    return np.packbits(padded, bitorder="little").view(np.dtype("<u8"))
+
+
+def set_bit(words: np.ndarray, v: int) -> None:
+    words[v >> 6] |= np.uint64(1 << (v & 63))
+
+
+def clear_bit(words: np.ndarray, v: int) -> None:
+    words[v >> 6] &= np.uint64(~(1 << (v & 63)) & 0xFFFFFFFFFFFFFFFF)
+
+
+def test_bit(words: np.ndarray, v: int) -> bool:
+    return bool(words[v >> 6] >> np.uint64(v & 63) & np.uint64(1))
+
+
+def iter_bits(words: np.ndarray) -> Iterator[int]:
+    """Yield set bit positions in ascending order."""
+    for w, word in enumerate(words):
+        word = int(word)
+        if not word:
+            continue
+        base = w << 6
+        while word:
+            low = word & -word
+            yield base + low.bit_length() - 1
+            word ^= low
+
+
+def popcount(words: np.ndarray) -> int:
+    """Number of set bits."""
+    return sum(int(w).bit_count() for w in words)
+
+
+__all__ = [
+    "WORD_BITS",
+    "n_words",
+    "zeros",
+    "from_indices",
+    "from_bool",
+    "set_bit",
+    "clear_bit",
+    "test_bit",
+    "iter_bits",
+    "popcount",
+]

@@ -3,30 +3,38 @@
 Pattern WL keys (:meth:`repro.graphs.Pattern.key`) are cheap but only
 *necessary* for isomorphism; this module buckets candidates by key and
 resolves collisions with the exact matcher, giving a correct canonical
-set of unique patterns.
+set of unique patterns. The ``backend`` parameters select the matcher
+backend for collision resolution (see ``docs/matching.md``); both
+backends agree on every pair, so canonical sets are backend-invariant.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 from repro.graphs.pattern import Pattern
 from repro.matching.isomorphism import are_isomorphic
 
 
-def deduplicate_patterns(patterns: Iterable[Pattern]) -> List[Pattern]:
+def deduplicate_patterns(
+    patterns: Iterable[Pattern], backend: Optional[str] = None
+) -> List[Pattern]:
     """Unique patterns up to isomorphism, preserving first-seen order."""
     buckets: Dict[str, List[Pattern]] = {}
     unique: List[Pattern] = []
     for p in patterns:
         bucket = buckets.setdefault(p.key(), [])
-        if not any(are_isomorphic(p, q) for q in bucket):
+        if not any(are_isomorphic(p, q, backend=backend) for q in bucket):
             bucket.append(p)
             unique.append(p)
     return unique
 
 
-def pattern_identity(pattern: Pattern, known: Dict[str, List[Pattern]]) -> Pattern:
+def pattern_identity(
+    pattern: Pattern,
+    known: Dict[str, List[Pattern]],
+    backend: Optional[str] = None,
+) -> Pattern:
     """Return the canonical representative of ``pattern`` in ``known``.
 
     Registers the pattern if unseen. ``known`` maps WL key -> the
@@ -34,7 +42,15 @@ def pattern_identity(pattern: Pattern, known: Dict[str, List[Pattern]]) -> Patte
     """
     bucket = known.setdefault(pattern.key(), [])
     for q in bucket:
-        if are_isomorphic(pattern, q):
+        # content-identical graphs are isomorphic under the identity
+        # mapping — the common case when serve paths re-create the
+        # same pattern per request; the search runs only on genuine
+        # relabellings
+        if (
+            q is pattern
+            or q.graph.content_key() == pattern.graph.content_key()
+            or are_isomorphic(pattern, q, backend=backend)
+        ):
             return q
     bucket.append(pattern)
     return pattern

@@ -1,0 +1,356 @@
+"""Host match-contexts and pattern match-plans (fast ``PMatch`` tier).
+
+The reference matcher re-derives everything per call: candidate sets
+from Python neighbor sets, feasibility from per-pair dict probes. The
+fast backend splits that work into two reusable halves:
+
+* :class:`MatchContext` — per-*host* state: node-type and degree
+  arrays, packed-bitset adjacency rows (out/in rows for directed
+  hosts), lazily built per-type node masks, and neighborhood
+  type-signature count arrays. Built once per host and shared by every
+  pattern matched against it.
+* :class:`MatchPlan` — per-*pattern* state: the reference matching
+  order, and for each position the edge/non-edge constraints against
+  previously mapped positions plus the degree and neighborhood
+  type-signature requirements used for pruning. Built once per
+  canonical pattern and shared across a whole host database
+  (database-batched ``PMatch``).
+
+Hosts above :data:`MatchContext.LAZY_ROW_THRESHOLD` nodes build
+adjacency rows on demand (only nodes actually mapped during search pay
+for a row), so contexts stay usable on SYNTHETIC-scale hosts where a
+dense ``n x n/64`` row table would not fit.
+
+Both halves only *prune* subtrees that can never produce a match, so
+the fast matcher emits exactly the reference enumeration sequence —
+the backend contract ``docs/matching.md`` documents and
+``tests/test_matching_parity.py`` enforces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import MatchingError
+from repro.graphs.graph import Graph
+from repro.graphs.pattern import Pattern
+from repro.matching import bitset
+
+#: a neighborhood-signature key: ``(direction, edge_type, neighbor
+#: type)`` with direction "" for undirected, "o"/"i" for directed
+SigKey = Tuple[str, int, int]
+
+
+def graph_content_key(graph: Graph) -> str:
+    """Stable content digest of a host graph.
+
+    Two graphs share a key iff they have identical node types, directed
+    flag, and typed edge sets under the identity node mapping — exactly
+    when every matcher result against them is interchangeable (features
+    are excluded; matching never reads them). Used to key the
+    process-wide match-plan cache (``plan_cache.py``), where object
+    identity is not safe (ids are recycled) and host graphs may be
+    rebuilt per request. Memoized on the graph, invalidated on
+    mutation.
+    """
+    return graph.content_key()
+
+
+def matching_order(p: Graph) -> List[int]:
+    """Visit order where each node (after the first) touches a prior one.
+
+    This is the reference matcher's order (root at the highest-degree
+    node, then maximize mapped-degree ties broken by total degree);
+    both backends share it so candidate trees are identical.
+    """
+    if p.n_nodes == 0:
+        return []
+    root = max(p.nodes(), key=lambda v: (p.degree(v), -v))
+    order = [root]
+    seen = {root}
+    frontier: List[int] = sorted(p.all_neighbors(root))
+    while frontier:
+        nxt = None
+        best = (-1, 0)
+        for v in frontier:
+            mapped_deg = sum(1 for w in p.all_neighbors(v) if w in seen)
+            key = (mapped_deg, p.degree(v))
+            if key > best:
+                best = key
+                nxt = v
+        assert nxt is not None
+        order.append(nxt)
+        seen.add(nxt)
+        frontier = sorted(
+            {w for v in seen for w in p.all_neighbors(v) if w not in seen}
+        )
+    if len(order) != p.n_nodes:
+        raise MatchingError("pattern is disconnected")  # guarded by Pattern
+    return order
+
+
+class MatchContext:
+    """Precomputed matching state for one host graph.
+
+    Everything a bitset VF2 run needs that depends only on the host:
+    adjacency rows as packed uint64 words (``all``/``out``/``in``
+    flavors), per-type candidate masks, degree arrays, and the
+    neighborhood type-signature count arrays the pruning rules consume.
+    """
+
+    #: hosts with more nodes than this build adjacency rows lazily
+    LAZY_ROW_THRESHOLD = 4096
+
+    __slots__ = (
+        "graph",
+        "n",
+        "words",
+        "directed",
+        "node_types",
+        "degrees",
+        "_all_rows",
+        "_out_rows",
+        "_in_rows",
+        "_lazy_all",
+        "_lazy_out",
+        "_lazy_in",
+        "_type_masks",
+        "_sig_counts",
+        "_type_counts",
+    )
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        n = graph.n_nodes
+        self.n = n
+        self.words = bitset.n_words(n)
+        self.directed = graph.directed
+        self.node_types = np.asarray(graph.node_types, dtype=np.int64)
+        self.degrees = np.fromiter(
+            (graph.degree(v) for v in range(n)), dtype=np.int64, count=n
+        )
+        self._type_masks: Dict[int, np.ndarray] = {}
+        self._sig_counts: Dict[SigKey, np.ndarray] = {}
+        self._type_counts: Optional[Dict[int, int]] = None
+        eager = n <= self.LAZY_ROW_THRESHOLD
+        self._all_rows: Optional[np.ndarray] = None
+        self._out_rows: Optional[np.ndarray] = None
+        self._in_rows: Optional[np.ndarray] = None
+        self._lazy_all: Dict[int, np.ndarray] = {}
+        self._lazy_out: Dict[int, np.ndarray] = {}
+        self._lazy_in: Dict[int, np.ndarray] = {}
+        if eager and n:
+            self._build_rows()
+
+    # ------------------------------------------------------------------
+    # adjacency rows
+    # ------------------------------------------------------------------
+    def _build_rows(self) -> None:
+        g = self.graph
+        W = self.words
+        all_rows = np.zeros((self.n, W), dtype=np.uint64)
+        if self.directed:
+            out_rows = np.zeros((self.n, W), dtype=np.uint64)
+            in_rows = np.zeros((self.n, W), dtype=np.uint64)
+            for (u, v) in g.edge_types:
+                out_rows[u, v >> 6] |= np.uint64(1 << (v & 63))
+                in_rows[v, u >> 6] |= np.uint64(1 << (u & 63))
+                all_rows[u, v >> 6] |= np.uint64(1 << (v & 63))
+                all_rows[v, u >> 6] |= np.uint64(1 << (u & 63))
+            self._out_rows = out_rows
+            self._in_rows = in_rows
+        else:
+            for (u, v) in g.edge_types:
+                all_rows[u, v >> 6] |= np.uint64(1 << (v & 63))
+                all_rows[v, u >> 6] |= np.uint64(1 << (u & 63))
+        self._all_rows = all_rows
+
+    def all_row(self, v: int) -> np.ndarray:
+        """Bitset of ``v``'s neighbors ignoring direction."""
+        if self._all_rows is not None:
+            return self._all_rows[v]
+        row = self._lazy_all.get(v)
+        if row is None:
+            row = bitset.from_indices(self.graph.all_neighbors(v), self.n)
+            self._lazy_all[v] = row
+        return row
+
+    def out_row(self, v: int) -> np.ndarray:
+        """Bitset of ``{w : v -> w}`` (directed hosts only)."""
+        if self._out_rows is not None:
+            return self._out_rows[v]
+        row = self._lazy_out.get(v)
+        if row is None:
+            row = bitset.from_indices(self.graph.neighbors(v), self.n)
+            self._lazy_out[v] = row
+        return row
+
+    def in_row(self, v: int) -> np.ndarray:
+        """Bitset of ``{w : w -> v}`` (directed hosts only)."""
+        if self._in_rows is not None:
+            return self._in_rows[v]
+        row = self._lazy_in.get(v)
+        if row is None:
+            row = bitset.from_indices(self.graph.in_neighbors(v), self.n)
+            self._lazy_in[v] = row
+        return row
+
+    # ------------------------------------------------------------------
+    # pruning tables
+    # ------------------------------------------------------------------
+    def type_counts(self) -> Dict[int, int]:
+        """Host node count per node type (cheap match prefilter)."""
+        if self._type_counts is None:
+            types, counts = np.unique(self.node_types, return_counts=True)
+            self._type_counts = {
+                int(t): int(c) for t, c in zip(types, counts)
+            }
+        return self._type_counts
+
+    def sig_counts(self, key: SigKey) -> np.ndarray:
+        """Per-node count of neighbors matching one signature key.
+
+        ``key = (direction, edge_type, neighbor_type)``; a host node is
+        a viable image for a pattern node only when, for every key of
+        the pattern node's neighborhood signature, the host count is at
+        least the pattern count (injective neighbor mapping).
+        """
+        counts = self._sig_counts.get(key)
+        if counts is None:
+            direction, etype, ntype = key
+            counts = np.zeros(self.n, dtype=np.int64)
+            for (u, v), t in self.graph.edge_types.items():
+                if t != etype:
+                    continue
+                if direction == "":  # undirected: count both endpoints
+                    if self.node_types[v] == ntype:
+                        counts[u] += 1
+                    if self.node_types[u] == ntype:
+                        counts[v] += 1
+                elif direction == "o":  # u -> v seen from u
+                    if self.node_types[v] == ntype:
+                        counts[u] += 1
+                else:  # "i": u -> v seen from v
+                    if self.node_types[u] == ntype:
+                        counts[v] += 1
+            self._sig_counts[key] = counts
+        return counts
+
+    def compat_mask(self, plan: "MatchPlan", pos: int) -> np.ndarray:
+        """Packed candidate mask for one plan position.
+
+        Type equality, degree lower bound, and neighborhood-signature
+        domination — all the host-only pruning rules, vectorized over
+        the whole host then packed to words.
+        """
+        ok = self.node_types == plan.types[pos]
+        if ok.any():
+            ok &= self.degrees >= plan.degrees[pos]
+        for key, need in plan.sigs[pos]:
+            if not ok.any():
+                break
+            ok &= self.sig_counts(key) >= need
+        return bitset.from_bool(ok)
+
+
+class MatchPlan:
+    """Precomputed matching schedule for one pattern.
+
+    Mirrors exactly what the reference backtracking derives on the fly:
+    the matching order, and per position the (non-)adjacency and
+    edge-type constraints against previously mapped positions. Adds the
+    pruning tables (degree bounds, neighborhood type signatures) the
+    fast backend applies host-side.
+    """
+
+    __slots__ = (
+        "pattern",
+        "order",
+        "types",
+        "degrees",
+        "sigs",
+        "adj",
+        "nonadj",
+        "dir_cons",
+        "type_needs",
+    )
+
+    def __init__(self, pattern: Pattern) -> None:
+        self.pattern = pattern
+        p = pattern.graph
+        order = matching_order(p)
+        self.order = order
+        k = len(order)
+        self.types = [p.node_type(v) for v in order]
+        self.degrees = [p.degree(v) for v in order]
+
+        # neighborhood signatures per position
+        self.sigs: List[List[Tuple[SigKey, int]]] = []
+        for v in order:
+            need: Dict[SigKey, int] = {}
+            if p.directed:
+                for w in p.neighbors(v):
+                    key = ("o", p.edge_type(v, w), p.node_type(w))
+                    need[key] = need.get(key, 0) + 1
+                for w in p.in_neighbors(v):
+                    key = ("i", p.edge_type(w, v), p.node_type(w))
+                    need[key] = need.get(key, 0) + 1
+            else:
+                for w in p.neighbors(v):
+                    key = ("", p.edge_type(v, w), p.node_type(w))
+                    need[key] = need.get(key, 0) + 1
+            self.sigs.append(sorted(need.items()))
+
+        # per-position constraints against previously mapped positions
+        pos_of = {v: i for i, v in enumerate(order)}
+        #: undirected: (prev position, edge type) for pattern edges
+        self.adj: List[List[Tuple[int, int]]] = [[] for _ in range(k)]
+        #: undirected: prev positions with no pattern edge
+        self.nonadj: List[List[int]] = [[] for _ in range(k)]
+        #: directed: (prev position, fwd edge type or None, bwd edge
+        #: type or None) where fwd is ``order[i] -> order[j]``
+        self.dir_cons: List[
+            List[Tuple[int, Optional[int], Optional[int]]]
+        ] = [[] for _ in range(k)]
+        for i, pv in enumerate(order):
+            for j in range(i):
+                qv = order[j]
+                if p.directed:
+                    fwd = (
+                        p.edge_type(pv, qv) if qv in p.neighbors(pv) else None
+                    )
+                    bwd = (
+                        p.edge_type(qv, pv) if pv in p.neighbors(qv) else None
+                    )
+                    self.dir_cons[i].append((j, fwd, bwd))
+                else:
+                    if p.has_edge(pv, qv):
+                        self.adj[i].append((j, p.edge_type(pv, qv)))
+                    else:
+                        self.nonadj[i].append(j)
+
+        #: node count needed per type (cheap host prefilter)
+        needs: Dict[int, int] = {}
+        for t in self.types:
+            needs[t] = needs.get(t, 0) + 1
+        self.type_needs = needs
+
+    def host_can_match(self, ctx: MatchContext) -> bool:
+        """Cheap prefilter: does the host have enough nodes per type?"""
+        if len(self.order) > ctx.n:
+            return False
+        counts = ctx.type_counts()
+        return all(
+            counts.get(t, 0) >= need for t, need in self.type_needs.items()
+        )
+
+
+__all__ = [
+    "MatchContext",
+    "MatchPlan",
+    "SigKey",
+    "graph_content_key",
+    "matching_order",
+]

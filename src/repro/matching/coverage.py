@@ -10,17 +10,28 @@ Match enumeration is capped (``match_cap``) to bound worst-case cost on
 pathological hosts; enumeration also stops early once every host node
 is covered, which is the common case for the small explanation
 subgraphs GVEX produces.
+
+``PMatch`` is **database-batched**: :func:`pmatch` matches one pattern
+against a whole host group in a single call, sharing the pattern's
+matching order / signature tables across hosts and skipping hosts that
+fail the type-count prefilter, with results drawn from (and fed into)
+the process-wide :data:`~repro.matching.plan_cache.PLAN_CACHE` under
+the fast backend. The ``"reference"`` backend reproduces the seed
+implementation — per-host VF2, no cross-call caching.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.config import MATCH_REFERENCE
 from repro.graphs.graph import Graph
 from repro.graphs.pattern import Pattern
 from repro.matching.canonical import pattern_identity
-from repro.matching.isomorphism import find_isomorphisms
+from repro.matching.context import graph_content_key
+from repro.matching.isomorphism import find_isomorphisms, resolve_backend
+from repro.matching.plan_cache import PLAN_CACHE
 
 #: (host index, node id)
 NodeRef = Tuple[int, int]
@@ -45,15 +56,28 @@ class PatternCoverage:
 
 
 def match_coverage(
-    pattern: Pattern, host: Graph, host_index: int = 0, match_cap: int = 10_000
+    pattern: Pattern,
+    host: Graph,
+    host_index: int = 0,
+    match_cap: int = 10_000,
+    backend: Optional[str] = None,
+    host_key: Optional[str] = None,
 ) -> PatternCoverage:
     """Coverage of a single pattern over a single host graph."""
+    if resolve_backend(backend) != MATCH_REFERENCE:
+        nodes, edges = PLAN_CACHE.coverage(
+            pattern, host, match_cap, host_key=host_key
+        )
+        return PatternCoverage(
+            frozenset((host_index, v) for v in nodes),
+            frozenset((host_index, e) for e in edges),
+        )
     covered_nodes: Set[NodeRef] = set()
     covered_edges: Set[EdgeRef] = set()
     p = pattern.graph
     n_host = host.n_nodes
     count = 0
-    for mapping in find_isomorphisms(pattern, host):
+    for mapping in find_isomorphisms(pattern, host, backend=MATCH_REFERENCE):
         count += 1
         for hv in mapping.values():
             covered_nodes.add((host_index, hv))
@@ -69,19 +93,69 @@ def match_coverage(
     return PatternCoverage(frozenset(covered_nodes), frozenset(covered_edges))
 
 
+def pmatch(
+    pattern: Pattern,
+    hosts: Sequence[Graph],
+    match_cap: int = 10_000,
+    backend: Optional[str] = None,
+    host_keys: Optional[Sequence[Optional[str]]] = None,
+) -> List[PatternCoverage]:
+    """Database-batched ``PMatch``: one pattern vs a whole host group.
+
+    Under the fast backend the pattern's canonical identity, matching
+    order, and signature tables resolve once and are shared across all
+    hosts; each host's coverage comes from (or lands in) the
+    process-wide plan cache, and hosts failing the type-count
+    prefilter skip VF2 entirely. ``host_keys`` lets callers that
+    already computed content keys (e.g. :class:`CoverageIndex`) avoid
+    re-hashing. Results are per host, in host order, identical to
+    per-host :func:`match_coverage` calls.
+    """
+    resolved = resolve_backend(backend)
+    if resolved == MATCH_REFERENCE:
+        return [
+            match_coverage(pattern, host, h, match_cap, backend=resolved)
+            for h, host in enumerate(hosts)
+        ]
+    local = PLAN_CACHE.coverage_many(
+        pattern, hosts, match_cap, host_keys=host_keys
+    )
+    return [
+        PatternCoverage(
+            frozenset((h, v) for v in nodes),
+            frozenset((h, e) for e in edges),
+        )
+        for h, (nodes, edges) in enumerate(local)
+    ]
+
+
 class CoverageIndex:
     """Cached pattern coverage over a fixed set of host graphs.
 
     The Psum greedy queries the same patterns repeatedly; this index
     computes each pattern's coverage once (patterns are identified up to
     isomorphism, so structurally equal patterns share a cache entry).
+    Under the fast backend the per-(pattern, host) work additionally
+    flows through the process-wide plan cache, so a later index over
+    the same hosts (``verify_view``, the query index) re-pays nothing.
     """
 
-    def __init__(self, hosts: Sequence[Graph], match_cap: int = 10_000) -> None:
+    def __init__(
+        self,
+        hosts: Sequence[Graph],
+        match_cap: int = 10_000,
+        backend: Optional[str] = None,
+    ) -> None:
         self.hosts: List[Graph] = list(hosts)
         self.match_cap = match_cap
+        self.backend = resolve_backend(backend)
         self._cache: Dict[int, PatternCoverage] = {}
         self._identity: Dict[str, List[Pattern]] = {}
+        self._host_keys: Optional[List[str]] = (
+            None
+            if self.backend == MATCH_REFERENCE
+            else [graph_content_key(g) for g in self.hosts]
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -108,14 +182,20 @@ class CoverageIndex:
 
     # ------------------------------------------------------------------
     def coverage(self, pattern: Pattern) -> PatternCoverage:
-        """Coverage of ``pattern`` across all hosts (cached)."""
-        canon = pattern_identity(pattern, self._identity)
+        """Coverage of ``pattern`` across all hosts (cached, batched)."""
+        canon = pattern_identity(pattern, self._identity, backend=self.backend)
         key = id(canon)
         if key not in self._cache:
+            per_host = pmatch(
+                canon,
+                self.hosts,
+                self.match_cap,
+                backend=self.backend,
+                host_keys=self._host_keys,
+            )
             nodes: Set[NodeRef] = set()
             edges: Set[EdgeRef] = set()
-            for h, host in enumerate(self.hosts):
-                cov = match_coverage(canon, host, h, self.match_cap)
+            for cov in per_host:
                 nodes |= cov.nodes
                 edges |= cov.edges
             self._cache[key] = PatternCoverage(frozenset(nodes), frozenset(edges))
@@ -132,9 +212,13 @@ class CoverageIndex:
         return covered >= target
 
 
-def covered_node_count(patterns: Iterable[Pattern], hosts: Sequence[Graph]) -> int:
+def covered_node_count(
+    patterns: Iterable[Pattern],
+    hosts: Sequence[Graph],
+    backend: Optional[str] = None,
+) -> int:
     """Total host nodes covered by a pattern set (for C3 checks)."""
-    index = CoverageIndex(hosts)
+    index = CoverageIndex(hosts, backend=backend)
     covered: Set[NodeRef] = set()
     for p in patterns:
         covered |= index.coverage(p).nodes
@@ -144,6 +228,7 @@ def covered_node_count(patterns: Iterable[Pattern], hosts: Sequence[Graph]) -> i
 __all__ = [
     "PatternCoverage",
     "match_coverage",
+    "pmatch",
     "CoverageIndex",
     "covered_node_count",
     "NodeRef",

@@ -7,33 +7,101 @@ edge between mapped nodes corresponds to a pattern edge. This is the
 matching relation the paper fixes for pattern coverage, so a pattern
 like a bare ring will not match a ring-with-chord.
 
-The matcher is a VF2-style backtracking search with candidate ordering:
-pattern nodes are visited so each new node is adjacent to an already
-mapped one (patterns are connected), and its candidates are drawn from
-the neighborhood of the mapped image rather than all host nodes.
+Two backends implement the search, selected per call or by the process
+default (:func:`set_default_backend`, mirrored by
+``GvexConfig.matching_backend``):
+
+* ``"reference"`` — the seed VF2-style backtracking: candidates from
+  the neighborhood of a mapped image, feasibility via per-pair
+  dict/set probes. Kept verbatim as the parity oracle.
+* ``"fast"`` (default) — bitset VF2 over a precomputed
+  :class:`~repro.matching.context.MatchContext`: feasibility is a few
+  word-wise ANDs over packed adjacency rows, with degree and
+  neighborhood-type-signature pruning cutting the candidate tree.
+
+Both backends emit matchings in the **same deterministic order** (host
+candidates ascending at every depth), so callers that consume mapping
+streams, truncate at ``limit``, or cap coverage enumeration get
+bit-identical results either way (``tests/test_matching_parity.py``).
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+import numpy as np
+
+from repro.config import MATCH_FAST, MATCH_REFERENCE, MATCHING_BACKENDS
 from repro.exceptions import MatchingError
 from repro.graphs.graph import Graph
 from repro.graphs.pattern import Pattern
+from repro.matching import bitset
+from repro.matching.context import MatchContext, MatchPlan, matching_order
 
 Mapping = Dict[int, int]
+
+#: process-wide default backend; ``GvexConfig.matching_backend``
+#: overrides it per algorithm run
+_DEFAULT_BACKEND = MATCH_FAST
+
+
+def get_default_backend() -> str:
+    """The process-wide matching backend name."""
+    return _DEFAULT_BACKEND
+
+
+def set_default_backend(backend: str) -> str:
+    """Set the process-wide backend; returns the previous one."""
+    global _DEFAULT_BACKEND
+    previous = _DEFAULT_BACKEND
+    _DEFAULT_BACKEND = resolve_backend(backend)
+    return previous
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Validate ``backend``, falling back to the process default."""
+    if backend is None:
+        return _DEFAULT_BACKEND
+    if backend not in MATCHING_BACKENDS:
+        raise MatchingError(
+            f"matching backend must be one of {MATCHING_BACKENDS}, "
+            f"got {backend!r}"
+        )
+    return backend
 
 
 def find_isomorphisms(
     pattern: Pattern,
     graph: Graph,
     limit: Optional[int] = None,
+    *,
+    backend: Optional[str] = None,
+    context: Optional[MatchContext] = None,
+    plan: Optional[MatchPlan] = None,
 ) -> Iterator[Mapping]:
     """Yield matchings ``{pattern node -> host node}`` up to ``limit``.
 
-    Matches are enumerated deterministically (lexicographic candidate
-    order), so results are stable across runs.
+    Matches are enumerated deterministically (ascending host candidate
+    order at every depth), identically for both backends. ``context``
+    and ``plan`` let batched callers (``pmatch``, the plan cache) share
+    host/pattern precomputation; they are fast-backend carriers and are
+    ignored by the reference backend.
     """
+    if resolve_backend(backend) == MATCH_REFERENCE:
+        return _find_isomorphisms_reference(pattern, graph, limit)
+    return _find_isomorphisms_fast(
+        pattern, graph, limit, context=context, plan=plan
+    )
+
+
+# ----------------------------------------------------------------------
+# reference backend (the seed implementation, kept as the parity oracle)
+# ----------------------------------------------------------------------
+def _find_isomorphisms_reference(
+    pattern: Pattern,
+    graph: Graph,
+    limit: Optional[int] = None,
+) -> Iterator[Mapping]:
     if pattern.graph.directed != graph.directed:
         return
     if limit is not None and limit <= 0:
@@ -107,33 +175,119 @@ def find_isomorphisms(
     yield from backtrack(0)
 
 
-def _matching_order(p: Graph) -> List[int]:
-    """Visit order where each node (after the first) touches a prior one."""
-    if p.n_nodes == 0:
-        return []
-    # root at the highest-degree node: fewest root candidates on average
-    root = max(p.nodes(), key=lambda v: (p.degree(v), -v))
-    order = [root]
-    seen = {root}
-    frontier: List[int] = sorted(p.all_neighbors(root))
-    while frontier:
-        nxt = None
-        best = (-1, 0)
-        for v in frontier:
-            mapped_deg = sum(1 for w in p.all_neighbors(v) if w in seen)
-            key = (mapped_deg, p.degree(v))
-            if key > best:
-                best = key
-                nxt = v
-        assert nxt is not None
-        order.append(nxt)
-        seen.add(nxt)
-        frontier = sorted(
-            {w for v in seen for w in p.all_neighbors(v) if w not in seen}
-        )
-    if len(order) != p.n_nodes:
-        raise MatchingError("pattern is disconnected")  # guarded by Pattern
-    return order
+# ----------------------------------------------------------------------
+# fast backend: bitset VF2 over a host MatchContext
+# ----------------------------------------------------------------------
+
+#: ad-hoc fast-backend calls on hosts at or below this node count run
+#: the reference search instead: word-wise numpy ops cost more than
+#: set probes on graphs this small, and enumeration is identical either
+#: way. Calls carrying a precomputed context/plan (the plan cache,
+#: batched pmatch) always take the bitset path — their setup is
+#: amortized across calls.
+SMALL_HOST_NODES = 24
+
+
+def _find_isomorphisms_fast(
+    pattern: Pattern,
+    graph: Graph,
+    limit: Optional[int] = None,
+    context: Optional[MatchContext] = None,
+    plan: Optional[MatchPlan] = None,
+) -> Iterator[Mapping]:
+    if pattern.graph.directed != graph.directed:
+        return
+    if limit is not None and limit <= 0:
+        return
+    if pattern.graph.n_nodes > graph.n_nodes:
+        return
+    if (
+        context is None
+        and plan is None
+        and graph.n_nodes <= SMALL_HOST_NODES
+    ):
+        yield from _find_isomorphisms_reference(pattern, graph, limit)
+        return
+
+    ctx = context if context is not None else MatchContext(graph)
+    mp = plan if plan is not None else MatchPlan(pattern)
+    if not mp.host_can_match(ctx):
+        return
+    k = len(mp.order)
+    compat = [ctx.compat_mask(mp, i) for i in range(k)]
+    edge_types = graph.edge_types
+    directed = graph.directed
+    used = bitset.zeros(ctx.n)
+    images: List[int] = [0] * k
+    count = 0
+    scratch = np.empty_like(used)
+
+    def candidate_mask(pos: int) -> np.ndarray:
+        mask = compat[pos].copy()
+        if directed:
+            for j, fwd, bwd in mp.dir_cons[pos]:
+                hq = images[j]
+                # hv -> hq required iff the pattern has pv -> qv
+                row = ctx.in_row(hq)
+                if fwd is not None:
+                    np.bitwise_and(mask, row, out=mask)
+                else:
+                    np.bitwise_and(mask, np.bitwise_not(row, out=scratch), out=mask)
+                # hq -> hv required iff the pattern has qv -> pv
+                row = ctx.out_row(hq)
+                if bwd is not None:
+                    np.bitwise_and(mask, row, out=mask)
+                else:
+                    np.bitwise_and(mask, np.bitwise_not(row, out=scratch), out=mask)
+        else:
+            for j, _ in mp.adj[pos]:
+                np.bitwise_and(mask, ctx.all_row(images[j]), out=mask)
+            for j in mp.nonadj[pos]:
+                np.bitwise_and(
+                    mask,
+                    np.bitwise_not(ctx.all_row(images[j]), out=scratch),
+                    out=mask,
+                )
+        np.bitwise_and(mask, np.bitwise_not(used, out=scratch), out=mask)
+        return mask
+
+    def edge_types_ok(pos: int, hv: int) -> bool:
+        if directed:
+            for j, fwd, bwd in mp.dir_cons[pos]:
+                hq = images[j]
+                if fwd is not None and edge_types[(hv, hq)] != fwd:
+                    return False
+                if bwd is not None and edge_types[(hq, hv)] != bwd:
+                    return False
+        else:
+            for j, etype in mp.adj[pos]:
+                hq = images[j]
+                key = (hv, hq) if hv <= hq else (hq, hv)
+                if edge_types[key] != etype:
+                    return False
+        return True
+
+    def backtrack(pos: int) -> Iterator[Mapping]:
+        nonlocal count
+        if pos == k:
+            count += 1
+            yield {mp.order[i]: images[i] for i in range(k)}
+            return
+        for hv in bitset.iter_bits(candidate_mask(pos)):
+            if limit is not None and count >= limit:
+                return
+            if not edge_types_ok(pos, hv):
+                continue
+            images[pos] = hv
+            bitset.set_bit(used, hv)
+            yield from backtrack(pos + 1)
+            bitset.clear_bit(used, hv)
+
+    yield from backtrack(0)
+
+
+#: reference order derivation, shared with the fast plan builder
+_matching_order = matching_order
 
 
 def _mapped_neighbor(p: Graph, pv: int, mapping: Mapping) -> Optional[int]:
@@ -143,19 +297,23 @@ def _mapped_neighbor(p: Graph, pv: int, mapping: Mapping) -> Optional[int]:
     return None
 
 
-def first_isomorphism(pattern: Pattern, graph: Graph) -> Optional[Mapping]:
+def first_isomorphism(
+    pattern: Pattern, graph: Graph, backend: Optional[str] = None
+) -> Optional[Mapping]:
     """First matching or ``None``."""
-    for m in find_isomorphisms(pattern, graph, limit=1):
+    for m in find_isomorphisms(pattern, graph, limit=1, backend=backend):
         return m
     return None
 
 
-def is_subgraph_isomorphic(pattern: Pattern, graph: Graph) -> bool:
+def is_subgraph_isomorphic(
+    pattern: Pattern, graph: Graph, backend: Optional[str] = None
+) -> bool:
     """Whether the pattern occurs in the host graph (induced semantics)."""
-    return first_isomorphism(pattern, graph) is not None
+    return first_isomorphism(pattern, graph, backend=backend) is not None
 
 
-def are_isomorphic(a: Pattern, b: Pattern) -> bool:
+def are_isomorphic(a: Pattern, b: Pattern, backend: Optional[str] = None) -> bool:
     """Exact isomorphism between two patterns.
 
     Same node/edge counts plus an induced-subgraph matching of equal
@@ -163,7 +321,7 @@ def are_isomorphic(a: Pattern, b: Pattern) -> bool:
     """
     if a.n_nodes != b.n_nodes or a.n_edges != b.n_edges:
         return False
-    return first_isomorphism(a, b.graph) is not None
+    return first_isomorphism(a, b.graph, backend=backend) is not None
 
 
 __all__ = [
@@ -171,4 +329,7 @@ __all__ = [
     "first_isomorphism",
     "is_subgraph_isomorphic",
     "are_isomorphic",
+    "get_default_backend",
+    "set_default_backend",
+    "resolve_backend",
 ]

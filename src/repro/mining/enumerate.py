@@ -34,9 +34,10 @@ def connected_node_subsets(
     if max_size < 1 or min_size < 1 or min_size > max_size:
         return
     emitted = 0
-
-    def exclusive_neighbors(w: int, sub: Set[int], sub_neigh: Set[int]) -> Set[int]:
-        return {u for u in graph.all_neighbors(w) if u not in sub and u not in sub_neigh}
+    # the current subset as a set, maintained incrementally alongside
+    # the ordered list — exclusive-neighborhood checks run once per
+    # extension candidate, so rebuilding set(sub) there is the hot spot
+    sub_set: Set[int] = set()
 
     def extend(
         sub: List[int],
@@ -58,10 +59,11 @@ def connected_node_subsets(
             remaining.discard(w)
             new_excl = {
                 u
-                for u in exclusive_neighbors(w, set(sub), sub_neigh)
-                if u > root and u != w
+                for u in graph.all_neighbors(w)
+                if u not in sub_set and u not in sub_neigh and u > root and u != w
             }
             sub.append(w)
+            sub_set.add(w)
             yield from extend(
                 sub,
                 remaining | new_excl,
@@ -69,11 +71,13 @@ def connected_node_subsets(
                 root,
             )
             sub.pop()
+            sub_set.discard(w)
 
     for v in graph.nodes():
         if cap is not None and emitted >= cap:
             return
         ext0 = {u for u in graph.all_neighbors(v) if u > v}
+        sub_set = {v}
         yield from extend([v], ext0, set(graph.all_neighbors(v)) | {v}, v)
 
 

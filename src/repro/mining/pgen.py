@@ -11,7 +11,16 @@ DESIGN.md §3).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    MutableMapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.exceptions import MiningError
 from repro.graphs.graph import Graph
@@ -27,6 +36,9 @@ def mine_patterns(
     min_support: int = 1,
     max_candidates: Optional[int] = 200,
     enumeration_cap: int = 100_000,
+    backend: Optional[str] = None,
+    subset_keys: Optional[Sequence[Sequence[int]]] = None,
+    pattern_memo: Optional[MutableMapping[Tuple[int, ...], Pattern]] = None,
 ) -> List[MinedPattern]:
     """Mine frequent connected patterns from host graphs.
 
@@ -44,6 +56,19 @@ def mine_patterns(
         appended afterwards and never dropped).
     enumeration_cap:
         Per-host cap on enumerated subsets (safety bound).
+    backend:
+        Matching backend for isomorphism-collision resolution (process
+        default when ``None``).
+    subset_keys / pattern_memo:
+        Cross-call canonization memo. ``subset_keys[h][v]`` names host
+        ``h``'s node ``v`` in a caller-stable id space (e.g. the
+        source-graph node ids of a streamed ``V_S`` subgraph);
+        ``pattern_memo`` then caches the induced :class:`Pattern` (and
+        with it, its WL key) per stable subset, so re-mining a host
+        that shares subsets with earlier calls stops re-canonizing
+        them. Memoized patterns are byte-identical to fresh ones
+        (``Pattern.from_induced`` is deterministic), so results never
+        change — only the repeated hashing goes away.
 
     Returns
     -------
@@ -61,11 +86,19 @@ def mine_patterns(
     canon_by_id: Dict[int, Pattern] = {}
 
     for h, host in enumerate(hosts):
+        keys = None if subset_keys is None else subset_keys[h]
         for subset in connected_node_subsets(
             host, max_size, min_size=2, cap=enumeration_cap
         ):
-            candidate = Pattern.from_induced(host, subset)
-            canon = pattern_identity(candidate, identity)
+            if pattern_memo is not None and keys is not None:
+                memo_key = tuple(keys[v] for v in subset)
+                candidate = pattern_memo.get(memo_key)
+                if candidate is None:
+                    candidate = Pattern.from_induced(host, subset)
+                    pattern_memo[memo_key] = candidate
+            else:
+                candidate = Pattern.from_induced(host, subset)
+            canon = pattern_identity(candidate, identity, backend=backend)
             key = id(canon)
             canon_by_id[key] = canon
             support.setdefault(key, set()).add(h)
@@ -108,6 +141,7 @@ def mine_incremental(
     known: Iterable[Pattern],
     max_size: int = 5,
     enumeration_cap: int = 20_000,
+    backend: Optional[str] = None,
 ) -> List[Pattern]:
     """The ``IncPGen`` operator (§5): new patterns around a new node.
 
@@ -117,7 +151,7 @@ def mine_incremental(
     """
     identity: Dict[str, List[Pattern]] = {}
     for p in known:
-        pattern_identity(p, identity)
+        pattern_identity(p, identity, backend=backend)
     known_ids = {id(p) for bucket in identity.values() for p in bucket}
 
     hood = sorted(host.k_hop_nodes(new_node, radius))
@@ -129,7 +163,7 @@ def mine_incremental(
         if local_new not in subset:
             continue
         candidate = Pattern.from_induced(sub, subset)
-        canon = pattern_identity(candidate, identity)
+        canon = pattern_identity(candidate, identity, backend=backend)
         if id(canon) not in known_ids:
             known_ids.add(id(canon))
             fresh.append(canon)

@@ -36,13 +36,15 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
+from repro.config import MATCH_REFERENCE
 from repro.exceptions import QueryError
 from repro.graphs.database import GraphDatabase
 from repro.graphs.graph import Graph
 from repro.graphs.pattern import Pattern
 from repro.graphs.view import ExplanationView, ViewSet
 from repro.matching.canonical import pattern_identity
-from repro.matching.isomorphism import is_subgraph_isomorphic
+from repro.matching.isomorphism import is_subgraph_isomorphic, resolve_backend
+from repro.matching.plan_cache import PLAN_CACHE
 from repro.query.dsl import (
     SCOPE_EXPLANATIONS,
     SCOPE_GRAPHS,
@@ -94,11 +96,23 @@ class ViewIndex:
         Optional source database; enables queries against the *full*
         graphs (e.g. "which nonmutagens contain pattern P?"), not just
         the explanation tier.
+    backend:
+        Matching backend for posting builds (process default when
+        ``None``). Under ``"fast"``, first-time (pattern, host) probes
+        additionally consult the process-wide match-plan cache, so an
+        index built after a Psum run re-pays nothing for the pairs
+        Psum already matched.
     """
 
-    def __init__(self, views: ViewSet, db: Optional[GraphDatabase] = None) -> None:
+    def __init__(
+        self,
+        views: ViewSet,
+        db: Optional[GraphDatabase] = None,
+        backend: Optional[str] = None,
+    ) -> None:
         self.views = views
         self.db = db
+        self.backend = resolve_backend(backend)
         self._identity: Dict[str, List[Pattern]] = {}
         self._match_cache: Dict[Tuple[CanonKey, HostKey], bool] = {}
         #: canonical key -> labels whose *pattern tier* contains it
@@ -242,7 +256,7 @@ class ViewIndex:
     # ------------------------------------------------------------------
     def _canon(self, pattern: Pattern) -> Tuple[Pattern, CanonKey]:
         """Canonical representative + stable canonical key."""
-        canon = pattern_identity(pattern, self._identity)
+        canon = pattern_identity(pattern, self._identity, backend=self.backend)
         wl_key = canon.key()
         bucket = self._identity[wl_key]
         for pos, candidate in enumerate(bucket):
@@ -256,20 +270,63 @@ class ViewIndex:
         cache_key = (key, host_key)
         cached = self._match_cache.get(cache_key)
         if cached is None:
-            cached = is_subgraph_isomorphic(canon, host)
+            if self.backend == MATCH_REFERENCE:
+                cached = is_subgraph_isomorphic(canon, host, backend=self.backend)
+            else:
+                # the process-wide plan cache keys by graph *content*,
+                # so pairs Psum / verify_view already matched hit here
+                cached = PLAN_CACHE.contains(canon, host)
             self._match_cache[cache_key] = cached
         return cached
+
+    def _matches_group(
+        self, canon: Pattern, key: CanonKey, hosts: List[Graph],
+        host_keys: List[HostKey],
+    ) -> List[bool]:
+        """Batched :meth:`_matches` over one pattern's host group.
+
+        Locally-cached answers are reused; the rest go through the plan
+        cache's database-batched probe (one identity/plan resolution,
+        one lock round for the whole group) under the fast backend.
+        """
+        out: List[Optional[bool]] = [
+            self._match_cache.get((key, hk)) for hk in host_keys
+        ]
+        todo = [i for i, flag in enumerate(out) if flag is None]
+        if todo:
+            if self.backend == MATCH_REFERENCE:
+                fresh = [
+                    is_subgraph_isomorphic(canon, hosts[i], backend=self.backend)
+                    for i in todo
+                ]
+            else:
+                fresh = PLAN_CACHE.contains_many(canon, [hosts[i] for i in todo])
+            for i, flag in zip(todo, fresh):
+                self._match_cache[(key, host_keys[i])] = flag
+                out[i] = flag
+        return [bool(flag) for flag in out]
 
     def _scan_explanations(
         self, canon: Pattern, key: CanonKey
     ) -> Dict[Hashable, List[int]]:
-        """Posting lists over the explanation tier, in view order."""
+        """Posting lists over the explanation tier, in view order.
+
+        One database-batched probe per pattern: every view subgraph in
+        one :meth:`_matches_group` call.
+        """
+        subs = [sub for view in self.views for sub in view.subgraphs]
+        flags = self._matches_group(
+            canon, key,
+            [sub.subgraph for sub in subs],
+            [_host_key(sub) for sub in subs],
+        )
+        hits = {id(sub) for sub, flag in zip(subs, flags) if flag}
         out: Dict[Hashable, List[int]] = {}
         for view in self.views:
             out[view.label] = [
                 sub.graph_index
                 for sub in view.subgraphs
-                if self._matches(canon, key, sub.subgraph, _host_key(sub))
+                if id(sub) in hits
             ]
         return out
 
@@ -289,10 +346,15 @@ class ViewIndex:
         canon, key = self._canon(pattern)
         postings = self._graph_postings.get(key)
         if postings is None:
+            flags = self._matches_group(
+                canon, key,
+                list(self.db.graphs),
+                [("db", idx) for idx in range(len(self.db.graphs))],
+            )
             postings = [
                 (self._group_of.get(idx), idx)
-                for idx, graph in enumerate(self.db.graphs)
-                if self._matches(canon, key, graph, ("db", idx))
+                for idx, flag in enumerate(flags)
+                if flag
             ]
             self._graph_postings[key] = postings
         return postings
@@ -410,6 +472,7 @@ class ViewIndex:
         clone = object.__new__(ViewIndex)
         clone.views = self.views
         clone.db = self.db
+        clone.backend = self.backend
         clone._identity = {k: list(v) for k, v in self._identity.items()}
         clone._match_cache = dict(self._match_cache)
         clone._pattern_labels = {
@@ -460,6 +523,38 @@ class ViewIndex:
             ]
         for canon, key in fresh:
             self._expl_postings[key] = self._scan_explanations(canon, key)
+
+    def extend_db(
+        self,
+        graphs: Sequence[Graph],
+        labels: Optional[Sequence[Hashable]] = None,
+    ) -> range:
+        """Admit new database graphs (a stream chunk), patching postings.
+
+        The database axis of incremental maintenance: growing the
+        source database used to mean lazily-built graph postings went
+        stale for every cached pattern. Instead of invalidating the
+        whole db tier, this appends the graphs to ``db`` and matches
+        each *cached* pattern against only the new suffix, keeping
+        every posting list identical to a from-scratch rebuild
+        (``tests/test_view_index_incremental.py``). Patterns never
+        queried at graph scope stay lazy and pay nothing.
+
+        Returns the new graphs' database indices.
+        """
+        if self.db is None:
+            raise QueryError("extend_db requires a source database")
+        new_indices = self.db.extend(graphs, labels)
+        for key, postings in self._graph_postings.items():
+            canon = self._identity[key[0]][key[1]]
+            additions = [
+                (self._group_of.get(idx), idx)
+                for idx in new_indices
+                if self._matches(canon, key, self.db.graphs[idx], ("db", idx))
+            ]
+            if additions:
+                self._graph_postings[key] = postings + additions
+        return new_indices
 
     def _refresh_graph_posting_labels(self) -> None:
         """Re-label cached db-tier postings after ``_group_of`` changed.

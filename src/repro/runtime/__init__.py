@@ -40,6 +40,7 @@ from repro.runtime.plan import (
     Shard,
     assemble_views,
     build_plan,
+    observed_shard_size,
     shard_size_for,
 )
 from repro.runtime.workqueue import (
@@ -55,6 +56,7 @@ __all__ = [
     "Shard",
     "build_plan",
     "shard_size_for",
+    "observed_shard_size",
     "assemble_views",
     # executors
     "Executor",

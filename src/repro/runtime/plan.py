@@ -82,12 +82,44 @@ class ExplainPlan:
         return [i for s in self.shards_for(label) for i in s.indices]
 
 
+def observed_shard_size(stats: Mapping) -> Optional[int]:
+    """Best-throughput shard size from observed wall-clock stats.
+
+    ``stats`` is the (parsed) ``results/runtime_scaling.json`` format:
+    its ``"shard_size"`` sweep lists per-configuration wall-clock
+    entries ``{"shard_size", "shards", "seconds", "views_per_sec"}``.
+    Returns the integer shard size with the highest observed
+    views/sec (ties break toward the smaller size — cheaper to
+    rebalance), or ``None`` when the stats carry no usable sweep
+    (missing key, only ``"auto"`` entries, zero-duration runs).
+    """
+    best: Optional[Tuple[float, int]] = None
+    for entry in stats.get("shard_size", []) or []:
+        size = entry.get("shard_size")
+        if not isinstance(size, int) or size < 1:
+            continue  # "auto" rows describe this heuristic, not a size
+        vps = entry.get("views_per_sec")
+        if vps is None:
+            seconds = entry.get("seconds") or 0
+            tasks = entry.get("tasks")
+            if not seconds or not tasks:
+                continue
+            vps = tasks / seconds
+        if vps <= 0:
+            continue
+        key = (float(vps), -size)
+        if best is None or key > best:
+            best = key
+    return -best[1] if best is not None else None
+
+
 def shard_size_for(
     db: GraphDatabase,
     indices: Sequence[int],
     config: GvexConfig,
     label: int,
     processes: int = 1,
+    stats: Optional[Mapping] = None,
 ) -> int:
     """Shard size for one label group, sized to verifier cache geometry.
 
@@ -103,6 +135,15 @@ def shard_size_for(
     * **balance** — at least one shard per worker
       (``ceil(group / processes)``), so a fork pool is never idle while
       another worker drains a mega-shard.
+
+    ``stats`` feeds back *observed* per-shard wall-clock (the
+    ``results/runtime_scaling.json`` format, CLI ``--shard-stats``):
+    the measured best-throughput shard size replaces the cache-budget
+    guess, rescaled per label group by how much heavier the group's
+    graphs are than the database average (the same ``n² · u_l`` cost
+    proxy), so skewed label groups get proportionally smaller shards
+    and their per-shard wall-clock evens out. The balance bound always
+    still applies.
     """
     from repro.core.verifiers import BatchedGnnVerifier
 
@@ -113,6 +154,22 @@ def shard_size_for(
     per_graph = max(1, widest * widest * max(1, upper))
     by_budget = max(1, BatchedGnnVerifier.BATCH_ELEMENT_BUDGET // per_graph)
     balanced = math.ceil(len(indices) / max(1, processes))
+
+    observed = observed_shard_size(stats) if stats else None
+    if observed is not None:
+        # the observed optimum was measured over the whole database;
+        # rebalance skewed groups by relative mean per-graph cost so
+        # heavy groups cut smaller shards (similar per-shard wall-clock)
+        db_widths = [g.n_nodes for g in db if g.n_nodes]
+        group_widths = [db[i].n_nodes for i in indices if db[i].n_nodes]
+        if db_widths and group_widths:
+            db_cost = sum(w * w for w in db_widths) / len(db_widths)
+            group_cost = sum(w * w for w in group_widths) / len(group_widths)
+            skew = db_cost / max(group_cost, 1.0)
+        else:
+            skew = 1.0
+        adjusted = max(1, int(round(observed * min(skew, float(len(indices))))))
+        return max(1, min(adjusted, balanced))
     return max(1, min(by_budget, balanced))
 
 
@@ -128,15 +185,17 @@ def build_plan(
     explainer_kwargs: Optional[Mapping] = None,
     processes: int = 1,
     shard_size: Optional[int] = None,
+    shard_stats: Optional[Mapping] = None,
 ) -> ExplainPlan:
     """Partition a database into label-group shards.
 
     ``predicted`` may carry ``None`` entries to exclude graphs (the
     sharded executor and restricted bench sweeps use this); by default
     the model's predictions group the database. ``shard_size``
-    overrides :func:`shard_size_for` uniformly. ``method`` is resolved
-    through the explainer registry, so aliases work everywhere plans
-    are built.
+    overrides :func:`shard_size_for` uniformly; ``shard_stats`` feeds
+    observed wall-clock back into it (adaptive sizing; see
+    :func:`observed_shard_size`). ``method`` is resolved through the
+    explainer registry, so aliases work everywhere plans are built.
     """
     from repro.api.registry import get_spec
 
@@ -165,7 +224,9 @@ def build_plan(
             continue
         size = shard_size
         if size is None:
-            size = shard_size_for(db, members, config, label, processes=processes)
+            size = shard_size_for(
+                db, members, config, label, processes=processes, stats=shard_stats
+            )
         if size < 1:
             raise ConfigurationError(f"shard_size must be >= 1, got {size}")
         for start in range(0, len(members), size):
@@ -214,5 +275,6 @@ __all__ = [
     "ExplainPlan",
     "build_plan",
     "shard_size_for",
+    "observed_shard_size",
     "assemble_views",
 ]

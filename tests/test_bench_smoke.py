@@ -122,3 +122,48 @@ def test_parallel_composes_with_batched_backend(trained_model, mutagen_db):
     )
     assert view_set_fingerprint(views) == view_set_fingerprint(serial_views)
     assert stats["inference_calls"] > 0
+
+
+def _load_matching_bench():
+    """Import benchmarks/bench_matching.py by path (not a package)."""
+    import importlib.util
+    from pathlib import Path
+
+    path = Path(__file__).parent.parent / "benchmarks" / "bench_matching.py"
+    spec = importlib.util.spec_from_file_location("bench_matching", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.slow
+def test_matching_fast_tier_5x_on_coverage_heavy():
+    """The matching-tier claim (docs/matching.md): on the coverage-
+    heavy serve case — Psum candidate coverage + C1 checks + db-tier
+    containment probes, repeated per request — the fast backend
+    (bitset VF2 + plan cache) is >= 5x the pure-Python reference at
+    steady state, with bit-identical answers (the pipeline asserts
+    equality internally)."""
+    bench = _load_matching_bench()
+    case = bench.coverage_heavy_case("reddit_binary")
+    assert case["speedup"] >= bench.MIN_SPEEDUP, case
+
+
+@pytest.mark.slow
+def test_matching_bench_smoke(tmp_path):
+    """The full matching bench runs end to end and writes its JSON."""
+    bench = _load_matching_bench()
+    out = tmp_path / "BENCH_matching.json"
+    result = bench.run(out)
+    assert out.exists()
+    assert {row["dataset"] for row in result["coverage_heavy"]} == set(
+        bench.DATASETS
+    )
+    per_backend = {
+        (row["dataset"], row["backend"]): row["matches"]
+        for row in result["matcher_throughput"]
+    }
+    for name in bench.DATASETS:  # identical enumeration either way
+        assert (
+            per_backend[(name, "fast")] == per_backend[(name, "reference")]
+        )

@@ -122,6 +122,60 @@ class TestPipeline:
         views = load_views(out)
         assert views.labels == [0]
 
+    def test_explain_matching_backend_and_shard_stats(
+        self, artifacts, tmp_path, capsys
+    ):
+        """--matching-backend reference + --shard-stats produce the
+        same views as the default fast run (the backend contract), and
+        a missing stats file is a clean error."""
+        import json
+
+        model_path, views_path = artifacts
+        stats_path = tmp_path / "stats.json"
+        stats_path.write_text(
+            json.dumps(
+                {"shard_size": [{"shard_size": 2, "views_per_sec": 90.0}]}
+            )
+        )
+        out = tmp_path / "ref_views.json"
+        assert (
+            main(
+                [
+                    "explain",
+                    "--dataset", "pcqm4m",
+                    "--scale", "test",
+                    "--model", str(model_path),
+                    "--matching-backend", "reference",
+                    "--shard-stats", str(stats_path),
+                    "--upper", "5",
+                    "--out", str(out),
+                ]
+            )
+            == 0
+        )
+        reference = load_views(out)
+        default = load_views(views_path)
+        assert reference.labels == default.labels
+        for label in default.labels:
+            assert [s.nodes for s in reference[label].subgraphs] == [
+                s.nodes for s in default[label].subgraphs
+            ]
+            assert [p.key() for p in reference[label].patterns] == [
+                p.key() for p in default[label].patterns
+            ]
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "explain",
+                    "--dataset", "pcqm4m",
+                    "--scale", "test",
+                    "--model", str(model_path),
+                    "--shard-stats", str(tmp_path / "missing.json"),
+                    "--upper", "5",
+                    "--out", str(out),
+                ]
+            )
+
     def test_query_inline_pattern(self, artifacts, capsys):
         _, views_path = artifacts
         pattern = json.dumps({"node_types": [0, 0], "edges": [[0, 1, 0]]})

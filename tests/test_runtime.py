@@ -28,6 +28,8 @@ from repro.config import GvexConfig, VERIFY_PAPER, VERIFY_SOFT
 from repro.datasets.registry import DATASETS, dataset_info, load_dataset
 from repro.exceptions import QueueFullError, RegistryError
 from repro.gnn.model import GnnClassifier
+from repro.graphs.database import GraphDatabase
+from repro.graphs.graph import Graph
 from repro.runtime import (
     BoundedWorkQueue,
     ForkPoolExecutor,
@@ -108,6 +110,78 @@ class TestPlan:
             assert shard_size_for(mutagen_db, indices, config, 1) <= 2
         finally:
             BatchedGnnVerifier.BATCH_ELEMENT_BUDGET = budget
+
+    def test_observed_shard_size_picks_best_throughput(self):
+        from repro.runtime import observed_shard_size
+
+        stats = {
+            "shard_size": [
+                {"shard_size": 1, "shards": 15, "seconds": 0.2, "views_per_sec": 75.0},
+                {"shard_size": 2, "shards": 9, "seconds": 0.18, "views_per_sec": 83.0},
+                {"shard_size": 4, "shards": 5, "seconds": 0.19, "views_per_sec": 78.0},
+                {"shard_size": "auto", "shards": 9, "seconds": 0.18, "views_per_sec": 84.0},
+            ]
+        }
+        assert observed_shard_size(stats) == 2
+        assert observed_shard_size({}) is None
+        assert observed_shard_size({"shard_size": []}) is None
+        # ties break toward the smaller size
+        tie = {
+            "shard_size": [
+                {"shard_size": 4, "views_per_sec": 80.0},
+                {"shard_size": 2, "views_per_sec": 80.0},
+            ]
+        }
+        assert observed_shard_size(tie) == 2
+
+    def test_adaptive_shard_size_feeds_back_stats(self, mutagen_db):
+        config = GvexConfig().with_bounds(0, 4)
+        indices = list(range(len(mutagen_db)))
+        stats = {
+            "shard_size": [
+                {"shard_size": 1, "views_per_sec": 50.0},
+                {"shard_size": 3, "views_per_sec": 90.0},
+            ]
+        }
+        adaptive = shard_size_for(mutagen_db, indices, config, 1, stats=stats)
+        # a uniform database: the observed optimum is adopted as-is
+        assert adaptive == 3
+        # skewed group: graphs much wider than the db average get
+        # proportionally smaller shards (their per-shard wall-clock
+        # would otherwise dominate)
+        wide = Graph([0] * (4 * max(g.n_nodes for g in mutagen_db)))
+        skewed = GraphDatabase(
+            list(mutagen_db.graphs) + [wide],
+            labels=None,
+            name="skewed",
+        )
+        wide_group = [len(skewed.graphs) - 1]
+        narrow = shard_size_for(skewed, wide_group, config, 1, stats=stats)
+        assert narrow < adaptive
+        # balance still binds: never more graphs per shard than the group
+        assert (
+            shard_size_for(mutagen_db, indices[:2], config, 1, processes=2, stats=stats)
+            == 1
+        )
+
+    def test_build_plan_plumbs_shard_stats(self, trained_model, mutagen_db):
+        config = GvexConfig().with_bounds(0, 4)
+        stats = {"shard_size": [{"shard_size": 2, "views_per_sec": 99.0}]}
+        plan = build_plan(mutagen_db, trained_model, config, shard_stats=stats)
+        assert plan.shards  # sized without error
+        for label in plan.labels:
+            members = plan.group_indices(label)
+            expected = shard_size_for(
+                mutagen_db, members, config, label, stats=stats
+            )
+            assert max(len(s) for s in plan.shards_for(label)) == min(
+                expected, len(members)
+            )
+        baseline = build_plan(mutagen_db, trained_model, config)
+        assert {s.label for s in plan.shards} == {s.label for s in baseline.shards}
+        # identical task coverage either way
+        for label in plan.labels:
+            assert plan.group_indices(label) == baseline.group_indices(label)
 
     def test_approx_rejects_constructor_overrides(
         self, trained_model, mutagen_db

@@ -224,3 +224,87 @@ class TestIncrementalEquivalence:
             index.add_view(views[views.labels[0]])
         with pytest.raises(QueryError):
             index.remove_view("no-such-label")
+
+
+class TestDbTierIncremental:
+    """``extend_db``: growing the database patches graph postings.
+
+    The db axis of incremental maintenance (StreamGVEX chunk
+    arrivals): appending source graphs must patch each cached
+    pattern's lazily-built graph postings for the new suffix only,
+    answering every graph-scope query identically to an index rebuilt
+    over the grown database.
+    """
+
+    def split_db(self, db):
+        """Prefix database + the held-back suffix graphs."""
+        keep = max(1, len(db.graphs) - 3)
+        prefix = db.subset(range(keep), name=f"{db.name}/prefix")
+        suffix = db.graphs[keep:]
+        suffix_labels = (
+            None if db.labels is None else db.labels[keep:]
+        )
+        return prefix, suffix, suffix_labels
+
+    def test_extend_db_matches_rebuild(self, zoo4):
+        db, _, _, views = zoo4
+        prefix, suffix, suffix_labels = self.split_db(db)
+        if not suffix:
+            pytest.skip("dataset too small to split")
+        incremental = ViewIndex(views, db=prefix)
+        # warm the lazy graph postings for every probe pattern first —
+        # the point is patching *cached* postings, not lazy rebuilds
+        patterns = probe_patterns(db, views)
+        for p in patterns:
+            incremental.select(Q.pattern(p) & Q.in_scope("graphs"))
+        new_indices = incremental.extend_db(suffix, suffix_labels)
+        assert list(new_indices) == list(
+            range(len(prefix.graphs) - len(suffix), len(prefix.graphs))
+        )
+
+        full = db.subset(range(len(db.graphs)), name=db.name)
+        rebuilt = ViewIndex(views, db=full)
+        for p in patterns:
+            assert occ_tuples(
+                incremental.select(Q.pattern(p) & Q.in_scope("graphs"))
+            ) == occ_tuples(rebuilt.select(Q.pattern(p) & Q.in_scope("graphs")))
+            assert occ_tuples(
+                incremental.graphs_containing(p)
+            ) == occ_tuples(rebuilt.graphs_containing(p))
+
+    def test_extend_db_only_matches_new_suffix(self, zoo4):
+        db, _, _, views = zoo4
+        prefix, suffix, suffix_labels = self.split_db(db)
+        if not suffix:
+            pytest.skip("dataset too small to split")
+        index = ViewIndex(views, db=prefix)
+        p = probe_patterns(db, views)[0]
+        index.select(Q.pattern(p) & Q.in_scope("graphs"))
+        cached_before = {
+            k for k in index._match_cache if k[1][0] == "db"
+        }
+        index.extend_db(suffix, suffix_labels)
+        fresh = {
+            k for k in index._match_cache if k[1][0] == "db"
+        } - cached_before
+        # only (pattern, new-graph) pairs were probed by the patch
+        new_set = set(range(len(prefix.graphs) - len(suffix), len(prefix.graphs)))
+        assert fresh  # the cached pattern was matched against the suffix
+        assert all(k[1][1] in new_set for k in fresh)
+
+    def test_extend_db_requires_database(self, zoo4):
+        _, _, _, views = zoo4
+        index = ViewIndex(views)
+        with pytest.raises(QueryError):
+            index.extend_db([])
+
+    def test_extend_db_label_contract(self, zoo4):
+        db, _, _, views = zoo4
+        prefix, suffix, suffix_labels = self.split_db(db)
+        if not suffix or suffix_labels is None:
+            pytest.skip("needs a labelled dataset with a suffix")
+        from repro.exceptions import DatasetError
+
+        index = ViewIndex(views, db=prefix)
+        with pytest.raises(DatasetError):
+            index.extend_db(suffix, None)  # labelled db needs labels

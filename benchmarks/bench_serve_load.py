@@ -1,0 +1,506 @@
+"""Serve-tier load benchmark: concurrency, latency, and backpressure.
+
+Drives a live :class:`~repro.api.server.ExplanationServer` (real HTTP,
+real worker pool, real tenant registry) with threaded clients and
+measures the multi-tenant serving claims of docs/runtime.md:
+
+* **service-bound** — a registered ``simulated-backend`` explainer
+  whose per-graph cost is a GIL-releasing sleep (the I/O-bound serving
+  regime: remote feature stores, model servers). Four tenants share
+  one trained (db, model); the same request mix runs against 1 worker
+  and N workers. Because sleeps overlap across tenants, queueing
+  concurrency shows directly — the N-worker arm must clear >=2x the
+  single-worker views/sec even on a one-core runner.
+* **measured** — the real ``gvex-approx`` explainer across two
+  tenants, 1 worker vs N workers. CPU-bound work cannot exceed the
+  machine's cores (``cpu_count`` is recorded; on a one-core runner the
+  two arms tie), so this scenario reports honest wall-clock numbers
+  and proves *correctness* under concurrency: every tenant's ``/views``
+  payload is fingerprinted and must be bit-identical to a serial
+  in-process baseline on the same (db, model, config, seed).
+* **backpressure** — a capacity-1 queue and a depth-1 tenant bound
+  under a burst, recording global-scope and tenant-scope 503 rates and
+  the ``Retry-After`` header.
+
+Writes JSON (checked into ``results/BENCH_serve_load.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_serve_load.py \
+        --out results/BENCH_serve_load.json
+
+The slow CI lane drives the same scenario functions at smoke scale
+(``tests/test_bench_smoke.py``) and asserts the >=2x service-bound
+speedup on every runner.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.api import (
+    ExplainerSpec,
+    ExplanationService,
+    TenantRegistry,
+    create_server,
+    register_explainer,
+)
+from repro.config import GvexConfig
+from repro.explainers.random_baseline import RandomExplainer
+from repro.graphs.io import viewset_to_dict
+
+SIMULATED_METHOD = "simulated-backend"
+
+
+# ----------------------------------------------------------------------
+# the simulated backend: a GIL-releasing sleep per graph
+# ----------------------------------------------------------------------
+class SimulatedBackendExplainer(RandomExplainer):
+    """Bench-only explainer: ``delay`` seconds of sleep per graph.
+
+    ``time.sleep`` releases the GIL, so this models the service-bound
+    regime (remote model servers, feature fetches) where a worker pool
+    overlaps explains even on one core. The subgraphs themselves come
+    from the random baseline, seeded — deterministic per (db, seed).
+    """
+
+    def __init__(self, model, seed=0, delay: float = 0.002) -> None:
+        super().__init__(model, seed=seed)
+        self.delay = delay
+
+    def explain_graph(self, graph, label=None, max_nodes=None, graph_index=0):
+        time.sleep(self.delay)
+        return super().explain_graph(
+            graph, label=label, max_nodes=max_nodes, graph_index=graph_index
+        )
+
+
+def register_simulated_backend(delay: float = 0.002) -> None:
+    """(Re-)register the simulated backend at the given per-graph delay."""
+    register_explainer(ExplainerSpec(
+        name=SIMULATED_METHOD,
+        cls=SimulatedBackendExplainer,
+        aliases=("simbe",),
+        in_table1=False,
+        defaults={"delay": delay},
+        description="bench-only: GIL-releasing sleep per graph "
+        "(service-bound serving stand-in)",
+    ))
+
+
+# ----------------------------------------------------------------------
+# tiny HTTP client helpers (stdlib only, mirrors the test-suite idiom)
+# ----------------------------------------------------------------------
+def _get(url: str) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+    try:
+        with urllib.request.urlopen(url, timeout=120) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read() or b"{}"), dict(err.headers)
+
+
+def _post(
+    url: str, payload: Dict[str, Any]
+) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+    req = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=600) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read() or b"{}"), dict(err.headers)
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile (q in [0, 100]) of a sample."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * (rank - lo)
+
+
+def viewset_fingerprint(payload: Dict[str, Any]) -> str:
+    """Canonical digest of a views wire payload (order-independent keys)."""
+    body = {k: v for k, v in payload.items() if k != "tenant"}
+    raw = json.dumps(body, sort_keys=True).encode()
+    return hashlib.sha256(raw).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# the load generator
+# ----------------------------------------------------------------------
+def run_load(
+    base_url: str,
+    tenants: Sequence[str],
+    *,
+    clients: int,
+    requests_per_client: int,
+    body: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Hammer ``POST /explain`` from ``clients`` threads.
+
+    Client ``i`` addresses tenant ``tenants[i % len(tenants)]`` for all
+    its requests (a tenant's own explains serialize inside its service,
+    so spreading clients across tenants is what exercises the worker
+    pool). Returns latency percentiles, throughput, and rejection
+    counts for the run.
+    """
+    body = dict(body or {})
+    latencies: List[float] = []
+    views_done = 0
+    rejected = 0
+    rejected_tenant_scope = 0
+    errors: List[str] = []
+    lock = threading.Lock()
+
+    def client(i: int) -> None:
+        nonlocal views_done, rejected, rejected_tenant_scope
+        tenant = tenants[i % len(tenants)]
+        for _ in range(requests_per_client):
+            payload = dict(body, tenant=tenant)
+            start = time.perf_counter()
+            status, resp, _headers = _post(f"{base_url}/explain", payload)
+            elapsed = time.perf_counter() - start
+            with lock:
+                if status == 200:
+                    latencies.append(elapsed)
+                    views_done += len(resp.get("views", []))
+                elif status == 503:
+                    rejected += 1
+                    if resp.get("scope") == "tenant":
+                        rejected_tenant_scope += 1
+                else:
+                    errors.append(f"{status}: {resp.get('error')}")
+
+    threads = [
+        threading.Thread(target=client, args=(i,), name=f"load-client-{i}")
+        for i in range(clients)
+    ]
+    wall_start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - wall_start
+
+    total = clients * requests_per_client
+    return {
+        "clients": clients,
+        "requests": total,
+        "completed": len(latencies),
+        "rejected": rejected,
+        "rejected_tenant_scope": rejected_tenant_scope,
+        "rejection_rate": round(rejected / total, 4) if total else 0.0,
+        "errors": errors,
+        "wall_seconds": round(wall, 4),
+        "p50_ms": round(_percentile(latencies, 50) * 1000, 2),
+        "p99_ms": round(_percentile(latencies, 99) * 1000, 2),
+        "mean_ms": round(
+            sum(latencies) / len(latencies) * 1000 if latencies else 0.0, 2
+        ),
+        "explains_per_sec": round(len(latencies) / max(wall, 1e-9), 3),
+        "views_per_sec": round(views_done / max(wall, 1e-9), 3),
+    }
+
+
+def _serve_arm(
+    services: Dict[str, ExplanationService],
+    *,
+    workers: int,
+    queue_capacity: int,
+    tenant_queue_capacity: Optional[int] = None,
+) -> Tuple[Any, str]:
+    """Spin up a live server hosting ``services`` as pinned tenants."""
+    registry = TenantRegistry(max_residents=max(4, len(services)))
+    for name, svc in services.items():
+        registry.add_service(name, svc, pinned=True)
+    server = create_server(
+        registry=registry,
+        port=0,
+        workers=workers,
+        queue_capacity=queue_capacity,
+        tenant_queue_capacity=tenant_queue_capacity,
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, server.url
+
+
+# ----------------------------------------------------------------------
+# scenarios (shared verbatim with the slow CI smoke lane)
+# ----------------------------------------------------------------------
+def scenario_service_bound(
+    services: Dict[str, ExplanationService],
+    *,
+    workers: Sequence[int] = (1, 4),
+    requests_per_client: int = 6,
+    queue_capacity: int = 64,
+    delay: float = 0.002,
+) -> Dict[str, Any]:
+    """1-worker vs N-worker throughput on GIL-releasing explains.
+
+    One client per tenant; every request runs the simulated backend.
+    The speedup between the first and last arm is the queueing-
+    concurrency claim (>= 2x with 4 tenants and >= 4 workers).
+    """
+    register_simulated_backend(delay=delay)
+    tenants = sorted(services)
+    arms = []
+    for n in workers:
+        server, url = _serve_arm(
+            services, workers=n, queue_capacity=queue_capacity
+        )
+        try:
+            arm = run_load(
+                url,
+                tenants,
+                clients=len(tenants),
+                requests_per_client=requests_per_client,
+                body={"method": SIMULATED_METHOD},
+            )
+            _status, health, _headers = _get(f"{url}/health")
+            arm["workers"] = n
+            arm["queue"] = {
+                k: health["queue"][k]
+                for k in ("workers", "completed", "failed", "rejected")
+            }
+            arms.append(arm)
+        finally:
+            server.shutdown()
+            server.server_close()
+    base = arms[0]["views_per_sec"] or 1e-9
+    for arm in arms:
+        arm["speedup_vs_one_worker"] = round(arm["views_per_sec"] / base, 3)
+    return {
+        "method": SIMULATED_METHOD,
+        "delay_per_graph_seconds": delay,
+        "tenants": tenants,
+        "arms": arms,
+        "speedup_views_per_sec": arms[-1]["speedup_vs_one_worker"],
+    }
+
+
+def scenario_measured(
+    services: Dict[str, ExplanationService],
+    *,
+    workers: Sequence[int] = (1, 4),
+    requests_per_client: int = 2,
+    queue_capacity: int = 64,
+    method: str = "gvex-approx",
+) -> Dict[str, Any]:
+    """Real-explainer arms + bit-identity proof against serial baselines.
+
+    Before any load, each tenant's expected views are computed by a
+    plain serial ``explain()`` on a fresh service over the same
+    (db, model, config, seed) and fingerprinted; after the concurrent
+    arms, every tenant's served ``/views`` must hash identically.
+    """
+    tenants = sorted(services)
+    baselines: Dict[str, str] = {}
+    for name in tenants:
+        svc = services[name]
+        ref = ExplanationService(
+            db=svc.db, model=svc.model, config=svc.config, seed=svc.seed
+        )
+        baselines[name] = viewset_fingerprint(
+            viewset_to_dict(ref.explain(method))
+        )
+
+    arms = []
+    fingerprints: Dict[str, str] = {}
+    bit_identical = True
+    for n in workers:
+        server, url = _serve_arm(
+            services, workers=n, queue_capacity=queue_capacity
+        )
+        try:
+            arm = run_load(
+                url,
+                tenants,
+                clients=len(tenants),
+                requests_per_client=requests_per_client,
+                body={"method": method},
+            )
+            arm["workers"] = n
+            arms.append(arm)
+            for name in tenants:
+                _status, payload, _headers = _get(
+                    f"{url}/views?tenant={name}"
+                )
+                fingerprints[name] = viewset_fingerprint(payload)
+                if fingerprints[name] != baselines[name]:
+                    bit_identical = False
+        finally:
+            server.shutdown()
+            server.server_close()
+    base = arms[0]["views_per_sec"] or 1e-9
+    for arm in arms:
+        arm["speedup_vs_one_worker"] = round(arm["views_per_sec"] / base, 3)
+    return {
+        "method": method,
+        "tenants": tenants,
+        "arms": arms,
+        "bit_identical_to_serial": bit_identical,
+        "fingerprints": fingerprints,
+        "baseline_fingerprints": baselines,
+    }
+
+
+def scenario_backpressure(
+    services: Dict[str, ExplanationService],
+    *,
+    burst: int = 6,
+    delay: float = 0.05,
+) -> Dict[str, Any]:
+    """A capacity-1 queue + depth-1 tenant bound under a burst.
+
+    Verifies the 503 contract end to end: most of the burst is shed,
+    rejections carry their scope, every 503 carries ``Retry-After``,
+    and after the dust settles the queue drains to depth zero with
+    exact counters (completed + rejected == submitted attempts).
+    """
+    register_simulated_backend(delay=delay)
+    tenants = sorted(services)
+    server, url = _serve_arm(
+        services,
+        workers=1,
+        queue_capacity=1,
+        tenant_queue_capacity=1,
+    )
+    try:
+        statuses: List[Tuple[int, Optional[str], Optional[str]]] = []
+        lock = threading.Lock()
+
+        def fire(i: int) -> None:
+            tenant = tenants[i % len(tenants)]
+            status, resp, headers = _post(
+                f"{url}/explain",
+                {"method": SIMULATED_METHOD, "tenant": tenant},
+            )
+            with lock:
+                statuses.append(
+                    (status, resp.get("scope"), headers.get("Retry-After"))
+                )
+
+        threads = [
+            threading.Thread(target=fire, args=(i,)) for i in range(burst)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        _status, health, _headers = _get(f"{url}/health")
+        queue = health["queue"]
+        ok = sum(1 for s, _, _ in statuses if s == 200)
+        shed = [(s, scope, retry) for s, scope, retry in statuses if s == 503]
+        return {
+            "burst": burst,
+            "queue_capacity": 1,
+            "tenant_queue_capacity": 1,
+            "completed": ok,
+            "rejected": len(shed),
+            "rejected_tenant_scope": sum(
+                1 for _, scope, _ in shed if scope == "tenant"
+            ),
+            "every_503_has_retry_after": all(
+                retry == "1" for _, _, retry in shed
+            ),
+            "drained_to_zero_depth": queue["depth"] == 0,
+            "counters_exact": queue["completed"] == ok
+            and queue["rejected"] == len(shed),
+        }
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+# ----------------------------------------------------------------------
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="mutagenicity")
+    parser.add_argument(
+        "--second-dataset",
+        default="ba_synthetic",
+        help="second tenant dataset for the measured scenario",
+    )
+    parser.add_argument("--scale", default="test")
+    parser.add_argument("--out", default="results/BENCH_serve_load.json")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=6,
+                        help="requests per client in the service-bound arms")
+    parser.add_argument("--delay", type=float, default=0.002,
+                        help="simulated backend per-graph sleep (seconds)")
+    args = parser.parse_args(argv)
+
+    from repro.datasets.zoo import get_trained
+
+    primary = get_trained(args.dataset, scale=args.scale)
+    secondary = get_trained(args.second_dataset, scale=args.scale)
+    config = GvexConfig().with_bounds(0, 6)
+
+    def tenant(trained) -> ExplanationService:
+        return ExplanationService(
+            db=trained.db, model=trained.model, config=config
+        )
+
+    # four service-bound tenants share one trained pair (the worker
+    # pool, not the dataset, is under test there)
+    sb_services = {f"sb-{i}": tenant(primary) for i in range(4)}
+    measured_services = {
+        args.dataset: tenant(primary),
+        args.second_dataset: tenant(secondary),
+    }
+
+    result = {
+        "dataset": args.dataset,
+        "scale": args.scale,
+        "cpu_count": os.cpu_count(),
+        "note": (
+            "the service-bound scenario (GIL-releasing explains) carries "
+            "the >=2x concurrency claim on any runner; the measured "
+            "scenario is CPU-bound and scales with cpu_count, so its "
+            "arms tie on a one-core machine — its claim is bit-identity "
+            "under concurrency"
+        ),
+        "scenarios": {
+            "service_bound": scenario_service_bound(
+                sb_services,
+                workers=(1, args.workers),
+                requests_per_client=args.requests,
+                delay=args.delay,
+            ),
+            "measured": scenario_measured(
+                measured_services, workers=(1, args.workers)
+            ),
+            "backpressure": scenario_backpressure(
+                {name: tenant(primary) for name in ("bp-a", "bp-b")}
+            ),
+        },
+    }
+
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,8 +5,9 @@ One front door for everything downstream code should need:
 * :class:`ExplanationService` — facade owning the ``fit_or_load →
   explain → persist → query`` lifecycle (``repro.api.service``);
 * the explainer registry — :func:`register_explainer`,
-  :func:`build_explainer`, :class:`ExplainerSpec`
-  (``repro.api.registry``);
+  :func:`build_explainer`, :class:`ExplainerSpec` — and the tenant
+  registry for multi-tenant serving — :class:`TenantRegistry`,
+  :class:`TenantSpec` (``repro.api.registry``);
 * the composable query DSL — :class:`Q` and :class:`ViewIndex`
   (re-exported from ``repro.query``);
 * the HTTP layer — :func:`serve` / :func:`create_server`
@@ -19,7 +20,10 @@ internal and may change between PRs.
 """
 
 from repro.api.registry import (
+    DEFAULT_TENANT,
     ExplainerSpec,
+    TenantRegistry,
+    TenantSpec,
     build_explainer,
     explainer_names,
     explainer_specs,
@@ -54,6 +58,9 @@ __all__ = [
     "ExplanationServer",
     "create_server",
     "serve",
+    "TenantRegistry",
+    "TenantSpec",
+    "DEFAULT_TENANT",
     # value types + config
     "GvexConfig",
     "CoverageConstraint",

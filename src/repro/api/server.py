@@ -1,32 +1,44 @@
-"""Stdlib JSON/HTTP endpoint over an :class:`ExplanationService`.
+"""Stdlib JSON/HTTP endpoint — concurrent, multi-tenant serving.
 
 A dependency-free ``http.server`` wrapper exposing the explain + query
-lifecycle::
+lifecycle for *many* (dataset, model, config) residents at once::
 
-    python -m repro.cli serve --dataset mutagenicity --port 8080
+    python -m repro.cli serve --dataset mutagenicity --port 8080 \\
+        --workers 4 --tenant enzymes=enzymes --max-tenants 4
 
 Routes
 ------
-``GET  /health``        service status + index + work-queue statistics
-``GET  /explainers``    the registry (names, aliases, descriptions)
+``GET  /health``        service status + registry + work-queue statistics
+``GET  /tenants``       the tenant registry (names, residency, datasets)
+``GET  /explainers``    the explainer registry (names, aliases, descriptions)
 ``GET  /capabilities``  the Table 1 capability matrix (text)
-``GET  /views``         current views in the versioned wire format
-``POST /explain``       ``{"method", "labels"?, "config"?, "processes"?,``
-                        ``"n_shards"?}`` -> view summary
-``POST /query``         ``{"pattern", "scope"?, "label"?, "patterns"?}``
-                        -> occurrences + per-label statistics
+``GET  /views``         current views (``?tenant=NAME``), versioned wire format
+``POST /explain``       ``{"tenant"?, "method", "labels"?, "config"?,``
+                        ``"processes"?, "n_shards"?}`` -> view summary
+``POST /query``         ``{"tenant"?, "pattern", "scope"?, "label"?,``
+                        ``"patterns"?}`` -> occurrences + per-label statistics
 
-All bodies and responses are JSON. Explain requests mutate the
-service's current views (and therefore what ``/query`` sees), matching
-the facade's semantics — and they *patch* the replica's warm
-:class:`~repro.query.ViewIndex` posting lists instead of rebuilding it
-per request. The server is threaded for concurrent *reads*; explains
-are admitted through a :class:`~repro.runtime.BoundedWorkQueue` —
-one runs at a time, a bounded backlog may wait, and submissions past
-capacity are rejected with ``503`` (backpressure; see
-docs/runtime.md). With ``auth_token`` set, POST routes require
-``Authorization: Bearer <token>`` (compared constant-time); reads stay
-open.
+All bodies and responses are JSON. The ``tenant`` field addresses one
+resident of the server's :class:`~repro.api.registry.TenantRegistry`
+(default: the ``"default"`` tenant); unknown tenants get ``404``.
+Explain requests mutate *their tenant's* views (and therefore what
+``/query`` sees for that tenant), matching the facade's semantics — and
+they *patch* the tenant's warm :class:`~repro.query.ViewIndex` posting
+lists instead of rebuilding them per request.
+
+Concurrency: the server is threaded for reads (lock-free — views and
+indexes are swapped atomically); explains are admitted through a
+:class:`~repro.runtime.BoundedWorkQueue` drained by ``workers`` threads,
+so explains for *distinct* tenants run simultaneously while each
+tenant's own explains serialize inside its service. Submissions past
+the queued backlog (``queue_capacity``) — or past one tenant's depth
+bound (``tenant_queue_capacity``) — are rejected immediately with
+``503`` + ``Retry-After`` (backpressure; see docs/runtime.md). Request
+bodies above ``max_body_bytes`` are refused with ``413`` before the
+queue is touched; a fork worker killed mid-shard surfaces as a ``500``
+with its queue slot reclaimed. With ``auth_token`` set, POST routes
+require ``Authorization: Bearer <token>`` (compared constant-time);
+reads stay open.
 """
 
 from __future__ import annotations
@@ -35,21 +47,36 @@ import hmac
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
 
-from repro.api.registry import explainer_specs
+from repro.api.registry import DEFAULT_TENANT, TenantRegistry, explainer_specs
 from repro.api.service import ExplanationService, pattern_from_spec
 from repro.config import GvexConfig
-from repro.exceptions import QueueFullError, ReproError
+from repro.exceptions import (
+    ConfigurationError,
+    QueueFullError,
+    ReproError,
+    TenantError,
+    WorkerCrashError,
+)
 from repro.graphs.io import viewset_to_dict
 from repro.query import Q, Query
 from repro.runtime.workqueue import DEFAULT_CAPACITY, BoundedWorkQueue
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8080
+#: request bodies above this are refused with 413 before admission
+DEFAULT_MAX_BODY_BYTES = 1 << 20
 
 
 class ExplanationServer(ThreadingHTTPServer):
-    """A ThreadingHTTPServer carrying the service it fronts."""
+    """A ThreadingHTTPServer fronting a tenant registry.
+
+    Construct it with either a single ``service`` (adopted as the
+    pinned ``"default"`` tenant — the historical single-tenant shape)
+    or an explicit ``registry`` of many tenants, plus a worker count
+    for the explain pool.
+    """
 
     daemon_threads = True
     allow_reuse_address = True
@@ -57,15 +84,48 @@ class ExplanationServer(ThreadingHTTPServer):
     def __init__(
         self,
         address: Tuple[str, int],
-        service: ExplanationService,
+        service: Optional[ExplanationService] = None,
         *,
+        registry: Optional[TenantRegistry] = None,
+        workers: int = 1,
         queue_capacity: int = DEFAULT_CAPACITY,
+        tenant_queue_capacity: Optional[int] = None,
         auth_token: Optional[str] = None,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
     ):
         super().__init__(address, _Handler)
-        self.service = service
+        if registry is None:
+            if service is None:
+                raise ConfigurationError(
+                    "ExplanationServer needs a service or a registry"
+                )
+            registry = TenantRegistry()
+            registry.add_service(DEFAULT_TENANT, service, pinned=True)
+        elif service is not None:
+            raise ConfigurationError(
+                "pass either a service or a registry, not both"
+            )
+        self.registry = registry
+        names = registry.names()
+        self.default_tenant: Optional[str] = (
+            DEFAULT_TENANT
+            if DEFAULT_TENANT in registry
+            else (names[0] if len(names) == 1 else None)
+        )
         self.auth_token = auth_token
-        self.work_queue = BoundedWorkQueue(capacity=queue_capacity)
+        self.max_body_bytes = max_body_bytes
+        self.work_queue = BoundedWorkQueue(
+            capacity=queue_capacity,
+            workers=workers,
+            tenant_capacity=tenant_queue_capacity,
+        )
+
+    @property
+    def service(self) -> Optional[ExplanationService]:
+        """The default tenant's resident service (if materialized)."""
+        if self.default_tenant is None:
+            return None
+        return self.registry.peek(self.default_tenant)
 
     @property
     def url(self) -> str:
@@ -78,33 +138,53 @@ class ExplanationServer(ThreadingHTTPServer):
 
 
 def create_server(
-    service: ExplanationService,
+    service: Optional[ExplanationService] = None,
     host: str = DEFAULT_HOST,
     port: int = DEFAULT_PORT,
     *,
+    registry: Optional[TenantRegistry] = None,
+    workers: int = 1,
     queue_capacity: int = DEFAULT_CAPACITY,
+    tenant_queue_capacity: Optional[int] = None,
     auth_token: Optional[str] = None,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
 ) -> ExplanationServer:
     """Bind (but do not start) a server; ``port=0`` picks a free port."""
     return ExplanationServer(
         (host, port),
         service,
+        registry=registry,
+        workers=workers,
         queue_capacity=queue_capacity,
+        tenant_queue_capacity=tenant_queue_capacity,
         auth_token=auth_token,
+        max_body_bytes=max_body_bytes,
     )
 
 
 def serve(
-    service: ExplanationService,
+    service: Optional[ExplanationService] = None,
     host: str = DEFAULT_HOST,
     port: int = DEFAULT_PORT,
     *,
+    registry: Optional[TenantRegistry] = None,
+    workers: int = 1,
     queue_capacity: int = DEFAULT_CAPACITY,
+    tenant_queue_capacity: Optional[int] = None,
     auth_token: Optional[str] = None,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
 ) -> None:
     """Blocking serve loop (Ctrl-C to stop)."""
     server = create_server(
-        service, host, port, queue_capacity=queue_capacity, auth_token=auth_token
+        service,
+        host,
+        port,
+        registry=registry,
+        workers=workers,
+        queue_capacity=queue_capacity,
+        tenant_queue_capacity=tenant_queue_capacity,
+        auth_token=auth_token,
+        max_body_bytes=max_body_bytes,
     )
     try:
         server.serve_forever()
@@ -114,27 +194,44 @@ def serve(
         server.server_close()
 
 
+class _PayloadTooLarge(ValueError):
+    """Request body exceeds the server's ``max_body_bytes`` (413)."""
+
+
 class _Handler(BaseHTTPRequestHandler):
     server: ExplanationServer  # narrowed type
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        route = self.path.split("?", 1)[0].rstrip("/") or "/"
+        parsed = urlparse(self.path)
+        route = parsed.path.rstrip("/") or "/"
         try:
             if route in ("/", "/health"):
                 self._json(200, self._health())
+            elif route == "/tenants":
+                self._json(200, self._tenants())
             elif route == "/explainers":
                 self._json(200, self._explainers())
             elif route == "/capabilities":
                 self._json(200, {"table": ExplanationService.capabilities()})
             elif route == "/views":
-                svc = self.server.service
-                if not svc.has_views:
-                    self._error(404, "no views generated or loaded yet")
-                else:
-                    self._json(200, viewset_to_dict(svc.views))
+                params = parse_qs(parsed.query)
+                tenant = self._tenant_name(params.get("tenant", [None])[0])
+                with self.server.registry.acquire(tenant) as svc:
+                    if not svc.has_views:
+                        self._error(
+                            404,
+                            f"tenant {tenant!r} has no views generated "
+                            "or loaded yet",
+                        )
+                    else:
+                        payload = viewset_to_dict(svc.views)
+                        payload["tenant"] = tenant
+                        self._json(200, payload)
             else:
                 self._error(404, f"unknown route {route!r}")
+        except TenantError as exc:
+            self._error(404, str(exc))
         except ReproError as exc:
             self._error(400, str(exc))
         except Exception as exc:  # pragma: no cover - defensive
@@ -148,30 +245,45 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             body = self._read_body()
             if route == "/explain":
-                # explains mutate service state: admit through the
-                # bounded queue (FIFO, one at a time) and block for the
-                # result; a full queue is immediate backpressure
+                tenant = self._tenant_name(body.get("tenant"))
+                # resolve the tenant *before* admission so an unknown
+                # name is a 404 that never consumes a queue slot
+                self.server.registry.ensure(tenant)
+                # explains mutate tenant state: admit through the
+                # bounded queue and block for the result; a full queue
+                # (global backlog or this tenant's depth bound) is
+                # immediate backpressure
                 try:
                     item = self.server.work_queue.submit(
-                        lambda: self._explain(body)
+                        lambda: self._explain(tenant, body), tenant=tenant
                     )
                 except QueueFullError as exc:
                     self._json(
                         503,
                         {
                             "error": str(exc),
+                            "scope": exc.scope,
+                            "tenant": tenant,
                             "queue": self.server.work_queue.stats(),
                         },
                     )
                     return
                 self._json(200, item.result())
             elif route == "/query":
-                self._json(200, self._query(body))
+                tenant = self._tenant_name(body.get("tenant"))
+                with self.server.registry.acquire(tenant) as svc:
+                    self._json(200, self._query(svc, tenant, body))
             else:
                 self._error(404, f"unknown route {route!r}")
+        except _PayloadTooLarge as exc:
+            self._error(413, str(exc))
+        except TenantError as exc:
+            self._error(404, str(exc))
+        except WorkerCrashError as exc:
+            self._error(500, str(exc))
         except (ReproError, KeyError, ValueError, TypeError) as exc:
             self._error(400, f"{type(exc).__name__}: {exc}")
-        except Exception as exc:  # pragma: no cover - defensive
+        except Exception as exc:
             self._error(500, f"{type(exc).__name__}: {exc}")
 
     # ------------------------------------------------------------------
@@ -184,27 +296,50 @@ class _Handler(BaseHTTPRequestHandler):
         expected = f"Bearer {token}"
         return hmac.compare_digest(header.encode(), expected.encode())
 
+    def _tenant_name(self, requested: Optional[str]) -> str:
+        """Resolve a request's tenant field against the server default."""
+        if requested is not None:
+            if not isinstance(requested, str):
+                raise TypeError("tenant must be a string")
+            return requested
+        if self.server.default_tenant is None:
+            raise TenantError(
+                "this server hosts multiple tenants and has no default; "
+                "pass a 'tenant' field "
+                f"(registered: {self.server.registry.names()})"
+            )
+        return self.server.default_tenant
+
     # ------------------------------------------------------------------
     def _health(self) -> Dict[str, Any]:
-        svc = self.server.service
         out: Dict[str, Any] = {
             "status": "ok",
-            "dataset": svc.dataset,
-            "scale": svc.scale,
-            "has_model": svc._model is not None,
-            "has_views": svc.has_views,
-            "last_method": svc.last_method,
             "queue": self.server.work_queue.stats(),
+            "registry": self.server.registry.stats(),
+            "default_tenant": self.server.default_tenant,
             "auth": self.server.auth_token is not None,
         }
-        if svc.has_views:
-            out["labels"] = [str(l) for l in svc.views.labels]
-            # only report the index when it already exists: a health
-            # probe must stay cheap, and svc.index would eagerly build
-            # posting lists (and lazily load a named dataset)
-            if svc._index is not None:
-                out["index"] = svc._index.index_stats()
+        # the default tenant's fields stay at the top level (the
+        # single-tenant health shape callers already scrape); peek only
+        # — a health probe must stay cheap and never materialize a
+        # tenant or build an index
+        svc = self.server.service
+        if svc is not None:
+            out["dataset"] = svc.dataset
+            out["scale"] = svc.scale
+            out["has_model"] = svc._model is not None
+            out["has_views"] = svc.has_views
+            out["last_method"] = svc.last_method
+            if svc.has_views:
+                out["labels"] = [str(l) for l in svc.views.labels]
+                if svc._index is not None:
+                    out["index"] = svc._index.index_stats()
         return out
+
+    def _tenants(self) -> Dict[str, Any]:
+        stats = self.server.registry.stats()
+        stats["default_tenant"] = self.server.default_tenant
+        return stats
 
     @staticmethod
     def _explainers() -> Dict[str, Any]:
@@ -221,36 +356,39 @@ class _Handler(BaseHTTPRequestHandler):
             ]
         }
 
-    def _explain(self, body: Dict[str, Any]) -> Dict[str, Any]:
-        svc = self.server.service
-        method = body.get("method", "gvex-approx")
-        labels = body.get("labels")
-        config: Optional[GvexConfig] = None
-        if body.get("config"):
-            config = GvexConfig.from_dict(body["config"])
-        views = svc.explain(
-            method,
-            labels=labels,
-            config=config,
-            processes=int(body.get("processes", 1)),
-            n_shards=int(body.get("n_shards", 1)),
-        )
-        return {
-            "method": svc.last_method,
-            "views": [
-                {
-                    "label": view.label,
-                    "n_subgraphs": len(view.subgraphs),
-                    "n_patterns": len(view.patterns),
-                    "score": view.score,
-                    "compression": view.compression(),
-                }
-                for view in views
-            ],
-        }
+    def _explain(self, tenant: str, body: Dict[str, Any]) -> Dict[str, Any]:
+        """One explain job — runs on a work-queue pool thread."""
+        with self.server.registry.acquire(tenant) as svc:
+            method = body.get("method", "gvex-approx")
+            labels = body.get("labels")
+            config: Optional[GvexConfig] = None
+            if body.get("config"):
+                config = GvexConfig.from_dict(body["config"])
+            views = svc.explain(
+                method,
+                labels=labels,
+                config=config,
+                processes=int(body.get("processes", 1)),
+                n_shards=int(body.get("n_shards", 1)),
+            )
+            return {
+                "tenant": tenant,
+                "method": svc.last_method,
+                "views": [
+                    {
+                        "label": view.label,
+                        "n_subgraphs": len(view.subgraphs),
+                        "n_patterns": len(view.patterns),
+                        "score": view.score,
+                        "compression": view.compression(),
+                    }
+                    for view in views
+                ],
+            }
 
-    def _query(self, body: Dict[str, Any]) -> Dict[str, Any]:
-        svc = self.server.service
+    def _query(
+        self, svc: ExplanationService, tenant: str, body: Dict[str, Any]
+    ) -> Dict[str, Any]:
         specs = body.get("patterns")
         if specs is None:
             specs = [body["pattern"]]
@@ -271,6 +409,7 @@ class _Handler(BaseHTTPRequestHandler):
             for label in svc.views.labels
         }
         return {
+            "tenant": tenant,
             "scope": scope,
             "matches": [
                 {
@@ -288,6 +427,13 @@ class _Handler(BaseHTTPRequestHandler):
         length = int(self.headers.get("Content-Length") or 0)
         if length == 0:
             return {}
+        if length > self.server.max_body_bytes:
+            # refuse before reading or admitting: oversized requests
+            # must never occupy memory or a queue slot
+            raise _PayloadTooLarge(
+                f"request body of {length} bytes exceeds the "
+                f"{self.server.max_body_bytes}-byte limit"
+            )
         raw = self.rfile.read(length)
         data = json.loads(raw.decode("utf-8"))
         if not isinstance(data, dict):
@@ -317,4 +463,5 @@ __all__ = [
     "serve",
     "DEFAULT_HOST",
     "DEFAULT_PORT",
+    "DEFAULT_MAX_BODY_BYTES",
 ]

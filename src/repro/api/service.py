@@ -20,6 +20,7 @@ A service can equally wrap an in-memory database/model pair
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 from typing import Any, Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
 
@@ -95,6 +96,13 @@ class ExplanationService:
         self._model = model
         self._views: Optional[ViewSet] = None
         self._index: Optional[ViewIndex] = None
+        # concurrency contract (multi-worker serving): explains on one
+        # service serialize — views/model mutation is never concurrent
+        # with itself — while queries stay lock-free readers of the
+        # atomically swapped views/index references. The index lock only
+        # guards first-build vs patch races.
+        self._explain_lock = threading.RLock()
+        self._index_lock = threading.RLock()
         #: metrics of the most recent in-service training run
         self.train_metrics: Optional[Dict[str, float]] = None
         #: registry name of the most recent explain() method
@@ -131,24 +139,25 @@ class ExplanationService:
         Idempotent: once the service holds a model, it is returned
         as-is. Training metrics land in :attr:`train_metrics`.
         """
-        if self._model is not None:
-            return self._model
-        path = Path(model_path) if model_path is not None else None
-        if path is not None and path.exists():
-            self._model = GnnClassifier.load(path)
-            return self._model
-        in_dim, n_classes = self._model_dims()
-        model = GnnClassifier(
-            in_dim, n_classes, hidden_dims=self.hidden_dims, seed=self.seed
-        )
-        model, _, metrics = train_classifier(
-            self.db, model, seed=self.seed, max_epochs=epochs
-        )
-        self.train_metrics = metrics
-        self._model = model
-        if path is not None and save:
-            model.save(path)
-        return model
+        with self._explain_lock:  # two racing explains must train once
+            if self._model is not None:
+                return self._model
+            path = Path(model_path) if model_path is not None else None
+            if path is not None and path.exists():
+                self._model = GnnClassifier.load(path)
+                return self._model
+            in_dim, n_classes = self._model_dims()
+            model = GnnClassifier(
+                in_dim, n_classes, hidden_dims=self.hidden_dims, seed=self.seed
+            )
+            model, _, metrics = train_classifier(
+                self.db, model, seed=self.seed, max_epochs=epochs
+            )
+            self.train_metrics = metrics
+            self._model = model
+            if path is not None and save:
+                model.save(path)
+            return model
 
     def _model_dims(self) -> Tuple[int, int]:
         if self.dataset is not None:
@@ -196,21 +205,27 @@ class ExplanationService:
         seed = seed if seed is not None else self.seed
         from repro.runtime import build_plan, run_plan
 
-        plan = build_plan(
-            self.db,
-            self.model,
-            config,
-            labels=labels,
-            method=spec.name,
-            seed=seed,
-            explainer_kwargs=overrides,
-            processes=processes,
-            shard_stats=shard_stats,
-        )
-        views = run_plan(plan, processes=processes, n_shards=n_shards)
-        self.last_method = spec.name
-        self._set_views(views)
-        return views
+        # serialize whole explains per service: a multi-worker serve
+        # pool may drain several queued explains at once, and two
+        # concurrent explains on *one* tenant would race on training
+        # and view publication. Distinct tenants (distinct services)
+        # still overlap freely.
+        with self._explain_lock:
+            plan = build_plan(
+                self.db,
+                self.model,
+                config,
+                labels=labels,
+                method=spec.name,
+                seed=seed,
+                explainer_kwargs=overrides,
+                processes=processes,
+                shard_stats=shard_stats,
+            )
+            views = run_plan(plan, processes=processes, n_shards=n_shards)
+            self.last_method = spec.name
+            self._set_views(views)
+            return views
 
     def persist(self, path: Any) -> Path:
         """Write the current views as versioned JSON; returns the path."""
@@ -228,15 +243,18 @@ class ExplanationService:
         self._set_views(views)
 
     def _set_views(self, views: ViewSet) -> None:
-        if self._index is not None:
-            # warm replica: patch posting lists per admitted view
-            # instead of rebuilding (see docs/runtime.md). The patch
-            # runs on a clone swapped in atomically, so concurrent
-            # query threads (the HTTP server reads without locks) keep
-            # a consistent snapshot; when no index exists yet it stays
-            # lazily built on first query
-            self._index = self._index.patched_copy(views)
-        self._views = views
+        with self._index_lock:
+            if self._index is not None:
+                # warm replica: patch posting lists per admitted view
+                # instead of rebuilding (see docs/runtime.md). The patch
+                # runs on a clone swapped in atomically, so concurrent
+                # query threads (the HTTP server reads without locks)
+                # keep a consistent snapshot; when no index exists yet
+                # it stays lazily built on first query. The index lock
+                # keeps a concurrent first-build from publishing an
+                # index of the outgoing views *after* this patch.
+                self._index = self._index.patched_copy(views)
+            self._views = views
 
     @property
     def views(self) -> ViewSet:
@@ -255,12 +273,22 @@ class ExplanationService:
     # ------------------------------------------------------------------
     @property
     def index(self) -> ViewIndex:
-        """Inverted-index query engine over the current views."""
-        if self._index is None:
-            self._index = ViewIndex(
-                self.views, db=self.db, backend=self.config.matching_backend
-            )
-        return self._index
+        """Inverted-index query engine over the current views.
+
+        Lock-free once built (readers see an atomically swapped
+        reference); the first build double-checks under the index lock
+        so concurrent query threads build it exactly once and never
+        clobber a fresher patched index.
+        """
+        index = self._index
+        if index is not None:
+            return index
+        with self._index_lock:
+            if self._index is None:
+                self._index = ViewIndex(
+                    self.views, db=self.db, backend=self.config.matching_backend
+                )
+            return self._index
 
     def query(self, query: Query) -> List[PatternOccurrence]:
         """Execute a composable :class:`~repro.query.dsl.Query`."""

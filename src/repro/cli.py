@@ -28,8 +28,11 @@ from pathlib import Path
 from typing import Dict, Optional, Sequence
 
 from repro.api import (
+    DEFAULT_TENANT,
     ExplanationService,
     Q,
+    TenantRegistry,
+    TenantSpec,
     create_server,
     explainer_names,
     pattern_from_spec,
@@ -184,6 +187,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="require 'Authorization: Bearer <token>' on POST routes "
         "(constant-time compare; GET routes stay open)",
     )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="explain worker threads draining the queue; queued explains "
+        "for distinct tenants run concurrently",
+    )
+    p_serve.add_argument(
+        "--tenant",
+        action="append",
+        default=[],
+        metavar="NAME=DATASET[:SCALE]",
+        help="register an extra serving tenant (repeatable); it "
+        "materializes lazily on first request, addressed via the "
+        "'tenant' field of /explain and /query",
+    )
+    p_serve.add_argument(
+        "--max-tenants",
+        type=int,
+        default=4,
+        help="resident (materialized) tenants kept per process; past it "
+        "the least-recently-used idle tenant is evicted and rebuilds "
+        "lazily on next use",
+    )
+    p_serve.add_argument(
+        "--tenant-queue-depth",
+        type=int,
+        default=None,
+        help="per-tenant bound on queued + in-flight explains; one hot "
+        "tenant is rejected at its own limit (503, scope=tenant) while "
+        "others keep being admitted",
+    )
 
     return parser
 
@@ -194,6 +229,24 @@ def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--scale", default="test")
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _parse_tenant(raw: str, seed: int = 0) -> TenantSpec:
+    """Parse a ``--tenant NAME=DATASET[:SCALE]`` flag into a spec."""
+    name, sep, rest = raw.partition("=")
+    if not sep or not name or not rest:
+        raise SystemExit(
+            f"invalid --tenant {raw!r}: expected NAME=DATASET[:SCALE]"
+        )
+    dataset, sep, scale = rest.partition(":")
+    if dataset not in DATASETS:
+        raise SystemExit(
+            f"invalid --tenant {raw!r}: unknown dataset {dataset!r} "
+            f"(choose from {sorted(DATASETS)})"
+        )
+    return TenantSpec(
+        name=name, dataset=dataset, scale=scale or "test", seed=seed
+    )
 
 
 def _load_pattern(spec: str) -> Pattern:
@@ -304,17 +357,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             _attach_model(svc, args)
         if args.views:
             svc.load_views(args.views)
+        # the --dataset service is the pinned default tenant; --tenant
+        # entries materialize lazily on first addressed request
+        registry = TenantRegistry(max_residents=args.max_tenants)
+        registry.add_service(DEFAULT_TENANT, svc, pinned=True)
+        for raw in args.tenant:
+            registry.register(_parse_tenant(raw, seed=args.seed))
         server = create_server(
-            svc,
+            registry=registry,
             host=args.host,
             port=args.port,
+            workers=args.workers,
             queue_capacity=args.queue_depth,
+            tenant_queue_capacity=args.tenant_queue_depth,
             auth_token=args.auth_token,
         )
         _SERVE_STATE["server"] = server
-        print(f"serving {args.dataset} ({args.scale}) on {server.url}")
-        print("routes: GET /health /explainers /capabilities /views | "
-              "POST /explain /query")
+        tenants = ", ".join(registry.names())
+        print(f"serving {args.dataset} ({args.scale}) on {server.url} "
+              f"[tenants: {tenants}; workers: {args.workers}]")
+        print("routes: GET /health /tenants /explainers /capabilities "
+              "/views | POST /explain /query")
         try:
             if args.max_requests > 0:
                 # non-daemon handlers: server_close() then joins them, so

@@ -48,7 +48,25 @@ class RegistryError(ReproError):
 
 
 class QueueFullError(ReproError):
-    """The bounded work queue rejected a submission (backpressure)."""
+    """The bounded work queue rejected a submission (backpressure).
+
+    ``scope`` distinguishes the two admission limits: ``"global"``
+    (the queue's shared backlog bound) and ``"tenant"`` (one tenant's
+    depth bound); ``tenant`` names the tenant for the latter.
+    """
+
+    def __init__(self, message: str, *, scope: str = "global", tenant=None):
+        super().__init__(message)
+        self.scope = scope
+        self.tenant = tenant
+
+
+class TenantError(ReproError):
+    """Unknown or misconfigured serving tenant (HTTP layer maps to 404)."""
+
+
+class WorkerCrashError(ReproError):
+    """A fork-pool worker process died mid-shard (killed or crashed)."""
 
 
 class MiningError(ReproError):

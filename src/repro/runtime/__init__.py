@@ -45,6 +45,7 @@ from repro.runtime.plan import (
 )
 from repro.runtime.workqueue import (
     DEFAULT_CAPACITY,
+    DEFAULT_TENANT,
     BoundedWorkQueue,
     WorkItem,
 )
@@ -74,4 +75,5 @@ __all__ = [
     "BoundedWorkQueue",
     "WorkItem",
     "DEFAULT_CAPACITY",
+    "DEFAULT_TENANT",
 ]

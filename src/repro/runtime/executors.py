@@ -30,10 +30,13 @@ zoo); they differ only in scheduling.
 from __future__ import annotations
 
 import multiprocessing as mp
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.config import SCOPE_PER_GROUP, GvexConfig
+from repro.exceptions import WorkerCrashError
 from repro.core.approx import ApproxGvex, explain_graph
 from repro.gnn.model import GnnClassifier
 from repro.graphs.database import GraphDatabase
@@ -262,6 +265,44 @@ def _run_shard(shard: Shard) -> List[TaskResult]:
     return _WORKER_STATE.run_shard(shard)
 
 
+def _fork_map(plan: ExplainPlan, processes: int) -> List[TaskResult]:
+    """Run a plan's shards over a fork pool; crash-safe, order-preserving.
+
+    Uses :class:`concurrent.futures.ProcessPoolExecutor` (fork context)
+    rather than ``multiprocessing.Pool``: when a worker process dies
+    mid-shard (OOM-killed, ``SIGKILL``, segfault), the executor raises
+    ``BrokenProcessPool`` promptly instead of hanging ``pool.map``
+    forever — the serve path turns that into a clean 5xx with its queue
+    slot reclaimed. Task exceptions re-raise unchanged, and ``map``
+    preserves shard order, so results stay bit-identical to the serial
+    schedule.
+    """
+    ctx = mp.get_context("fork")
+    results: List[TaskResult] = []
+    try:
+        with ProcessPoolExecutor(
+            max_workers=processes,
+            mp_context=ctx,
+            initializer=_init_worker,
+            initargs=(
+                plan.model,
+                plan.config,
+                plan.db,
+                plan.method,
+                plan.seed,
+                dict(plan.explainer_kwargs),
+            ),
+        ) as pool:
+            for shard_results in pool.map(_run_shard, plan.shards):
+                results.extend(shard_results)
+    except BrokenProcessPool as exc:
+        raise WorkerCrashError(
+            "a fork-pool worker died mid-shard (killed or crashed); "
+            "partial results discarded"
+        ) from exc
+    return results
+
+
 class ForkPoolExecutor(Executor):
     """Fork a pool; each worker drains whole shards with warm state.
 
@@ -288,25 +329,11 @@ class ForkPoolExecutor(Executor):
             # method's own pattern pipeline: keep the serial semantics
             return SerialExecutor().run(plan)
         try:
-            ctx = mp.get_context("fork")
+            mp.get_context("fork")
         except ValueError:  # pragma: no cover - non-fork platforms
             return SerialExecutor().run(plan)
 
-        results: List[TaskResult] = []
-        with ctx.Pool(
-            processes=self.processes,
-            initializer=_init_worker,
-            initargs=(
-                plan.model,
-                plan.config,
-                plan.db,
-                plan.method,
-                plan.seed,
-                dict(plan.explainer_kwargs),
-            ),
-        ) as pool:
-            for shard_results in pool.map(_run_shard, plan.shards):
-                results.extend(shard_results)
+        results = _fork_map(plan, self.processes)
         subgraphs, calls = _collect(results, plan.labels)
         return (
             assemble_views(subgraphs, plan.config, plan.labels),
@@ -378,26 +405,11 @@ def run_tasks(plan: ExplainPlan, processes: int = 1) -> List[TaskResult]:
     """
     if processes > 1:
         try:
-            ctx = mp.get_context("fork")
+            mp.get_context("fork")
         except ValueError:  # pragma: no cover - non-fork platforms
-            ctx = None
-        if ctx is not None:
-            results: List[TaskResult] = []
-            with ctx.Pool(
-                processes=processes,
-                initializer=_init_worker,
-                initargs=(
-                    plan.model,
-                    plan.config,
-                    plan.db,
-                    plan.method,
-                    plan.seed,
-                    dict(plan.explainer_kwargs),
-                ),
-            ) as pool:
-                for shard_results in pool.map(_run_shard, plan.shards):
-                    results.extend(shard_results)
-            return results
+            pass
+        else:
+            return _fork_map(plan, processes)
     state = WorkerState.from_plan(plan)
     return [r for shard in plan.shards for r in state.run_shard(shard)]
 

@@ -1,19 +1,27 @@
-"""Bounded work queue with backpressure for the serving layer.
+"""Bounded multi-consumer work queue with tenant-aware backpressure.
 
 ``repro.cli serve`` used to serialize ``/explain`` requests under one
 global lock: every concurrent explain blocked inside the HTTP handler
 with no depth bound and no visibility. The queue replaces that with an
 explicit admission policy:
 
-* a fixed **capacity**: submissions beyond it are rejected immediately
-  (:class:`~repro.exceptions.QueueFullError`), which the HTTP layer
-  maps to ``503 Service Unavailable`` — callers get backpressure
-  instead of unbounded queueing;
-* one worker thread drains jobs in FIFO order, preserving the
-  serve path's one-explain-at-a-time invariant (the model must never
-  be trained twice concurrently);
-* counters — depth, in-flight, submitted/completed/rejected/failed
-  totals, wait and run latency — surfaced on ``/health``.
+* a fixed **capacity**: submissions beyond the queued backlog are
+  rejected immediately (:class:`~repro.exceptions.QueueFullError`),
+  which the HTTP layer maps to ``503 Service Unavailable`` — callers
+  get backpressure instead of unbounded queueing;
+* a pool of **worker threads** (``workers``, default 1) drains jobs in
+  FIFO admission order. With one worker this preserves the historical
+  one-explain-at-a-time invariant; with several, queued explains run
+  concurrently (per-tenant mutual exclusion is the submitting layer's
+  contract — :class:`~repro.api.service.ExplanationService` serializes
+  its own ``explain`` calls, so only *distinct* tenants overlap);
+* optional **per-tenant depth bounds** (``tenant_capacity``): one hot
+  tenant saturating the replica is rejected at its own limit while
+  other tenants keep being admitted;
+* counters — global and per-tenant depth, in-flight,
+  submitted/completed/rejected/failed totals, wait and run latency —
+  updated atomically under one lock and surfaced on ``/health``, so
+  they stay exact under concurrent submission, drain, and failure.
 
 The queue is deliberately scheduler-agnostic: a job is any callable,
 so the server submits facade calls that themselves run through the
@@ -30,13 +38,16 @@ from typing import Any, Callable, Dict, Optional
 from repro.exceptions import QueueFullError
 
 DEFAULT_CAPACITY = 8
+#: tenant key used when a submission names no tenant
+DEFAULT_TENANT = "default"
 
 
 class WorkItem:
     """A submitted job: wait for it, then read ``result`` or re-raise."""
 
-    def __init__(self, fn: Callable[[], Any]):
+    def __init__(self, fn: Callable[[], Any], tenant: str = DEFAULT_TENANT):
         self._fn = fn
+        self.tenant = tenant
         self._done = threading.Event()
         self._result: Any = None
         self._error: Optional[BaseException] = None
@@ -66,17 +77,76 @@ class WorkItem:
         return self._error is not None
 
 
-class BoundedWorkQueue:
-    """FIFO queue with a hard depth bound and latency counters."""
+class _TenantCounters:
+    """Per-tenant admission/drain accounting (mutated under the queue lock)."""
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+    __slots__ = (
+        "queued",
+        "in_flight",
+        "submitted",
+        "completed",
+        "failed",
+        "rejected",
+    )
+
+    def __init__(self) -> None:
+        self.queued = 0
+        self.in_flight = 0
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+
+    @property
+    def depth(self) -> int:
+        return self.queued + self.in_flight
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "depth": self.depth,
+            "queued": self.queued,
+            "in_flight": self.in_flight,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+        }
+
+
+class BoundedWorkQueue:
+    """FIFO queue with hard depth bounds and exact latency counters.
+
+    ``capacity`` bounds the *queued backlog* (jobs admitted but not yet
+    picked up by a worker) — the historical contract, so a queue with
+    ``capacity=c`` and ``workers=w`` holds at most ``c + w`` admitted
+    jobs. ``tenant_capacity`` additionally bounds one tenant's *depth*
+    (queued **plus** in-flight), so a single tenant can never occupy
+    more than ``tenant_capacity`` slots of the replica at once.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        workers: int = 1,
+        tenant_capacity: Optional[int] = None,
+    ):
         if capacity < 1:
             raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        if workers < 1:
+            raise ValueError(f"queue workers must be >= 1, got {workers}")
+        if tenant_capacity is not None and tenant_capacity < 1:
+            raise ValueError(
+                f"tenant_capacity must be >= 1 or None, got {tenant_capacity}"
+            )
         self.capacity = capacity
-        self._queue: "queue.Queue[Optional[WorkItem]]" = queue.Queue(
-            maxsize=capacity
-        )
+        self.workers = workers
+        self.tenant_capacity = tenant_capacity
+        # admission is enforced via the counters below (one lock makes
+        # the global check, the per-tenant check, and the counter bumps
+        # one atomic step); the underlying queue is unbounded
+        self._queue: "queue.Queue[Optional[WorkItem]]" = queue.Queue()
         self._lock = threading.Lock()
+        self._queued = 0
         self._in_flight = 0
         self._submitted = 0
         self._completed = 0
@@ -85,44 +155,84 @@ class BoundedWorkQueue:
         self._wait_seconds = 0.0
         self._run_seconds = 0.0
         self._last_latency = 0.0
+        self._tenants: Dict[str, _TenantCounters] = {}
         self._closed = False
-        self._worker = threading.Thread(
-            target=self._drain, name="repro-work-queue", daemon=True
-        )
-        self._worker.start()
+        self._threads = [
+            threading.Thread(
+                target=self._drain, name=f"repro-work-queue-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
 
     # ------------------------------------------------------------------
-    def submit(self, fn: Callable[[], Any]) -> WorkItem:
-        """Admit a job or raise :class:`QueueFullError` immediately."""
-        item = WorkItem(fn)
+    def submit(
+        self, fn: Callable[[], Any], tenant: str = DEFAULT_TENANT
+    ) -> WorkItem:
+        """Admit a job or raise :class:`QueueFullError` immediately.
+
+        Admission, rejection, and every counter update happen under one
+        lock acquisition, so ``stats()`` can never observe a submission
+        that is neither queued, in flight, finished, nor rejected.
+        """
+        item = WorkItem(fn, tenant=tenant)
         with self._lock:
             if self._closed:
                 raise QueueFullError("work queue is closed")
-            try:
-                self._queue.put_nowait(item)
-            except queue.Full:
+            counters = self._tenants.setdefault(tenant, _TenantCounters())
+            if (
+                self.tenant_capacity is not None
+                and counters.depth >= self.tenant_capacity
+            ):
+                counters.rejected += 1
+                self._rejected += 1
+                raise QueueFullError(
+                    f"tenant {tenant!r} at capacity "
+                    f"({self.tenant_capacity} in flight or pending)",
+                    scope="tenant",
+                    tenant=tenant,
+                )
+            if self._queued >= self.capacity:
+                counters.rejected += 1
                 self._rejected += 1
                 raise QueueFullError(
                     f"work queue at capacity ({self.capacity} pending)"
-                ) from None
+                )
+            self._queued += 1
             self._submitted += 1
+            counters.queued += 1
+            counters.submitted += 1
+            self._queue.put_nowait(item)
         return item
 
-    def run(self, fn: Callable[[], Any], timeout: Optional[float] = None) -> Any:
+    def run(
+        self,
+        fn: Callable[[], Any],
+        timeout: Optional[float] = None,
+        tenant: str = DEFAULT_TENANT,
+    ) -> Any:
         """Submit and block for the result (the HTTP handler's path)."""
-        return self.submit(fn).result(timeout)
+        return self.submit(fn, tenant=tenant).result(timeout)
 
     # ------------------------------------------------------------------
     def _drain(self) -> None:
         while True:
             item = self._queue.get()
-            if item is None:  # close sentinel
+            if item is None:  # close sentinel (one per worker)
                 return
             with self._lock:
+                counters = self._tenants.setdefault(
+                    item.tenant, _TenantCounters()
+                )
+                self._queued -= 1
                 self._in_flight += 1
+                counters.queued -= 1
+                counters.in_flight += 1
             item.run()
             with self._lock:
                 self._in_flight -= 1
+                counters.in_flight -= 1
                 assert item.started_at is not None
                 assert item.finished_at is not None
                 self._wait_seconds += item.started_at - item.submitted_at
@@ -130,23 +240,33 @@ class BoundedWorkQueue:
                 self._last_latency = item.finished_at - item.submitted_at
                 if item.failed:
                     self._failed += 1
+                    counters.failed += 1
                 else:
                     self._completed += 1
+                    counters.completed += 1
 
     # ------------------------------------------------------------------
     @property
     def depth(self) -> int:
         """Jobs admitted but not yet finished (queued + in flight)."""
         with self._lock:
-            return self._queue.qsize() + self._in_flight
+            return self._queued + self._in_flight
+
+    def depth_for(self, tenant: str) -> int:
+        """One tenant's admitted-but-unfinished job count."""
+        with self._lock:
+            counters = self._tenants.get(tenant)
+            return counters.depth if counters is not None else 0
 
     def stats(self) -> Dict[str, Any]:
-        """Counters for ``/health`` and diagnostics."""
+        """Counters for ``/health`` and diagnostics (one atomic snapshot)."""
         with self._lock:
             finished = self._completed + self._failed
             return {
                 "capacity": self.capacity,
-                "depth": self._queue.qsize() + self._in_flight,
+                "workers": self.workers,
+                "tenant_capacity": self.tenant_capacity,
+                "depth": self._queued + self._in_flight,
                 "in_flight": self._in_flight,
                 "submitted": self._submitted,
                 "completed": self._completed,
@@ -159,15 +279,20 @@ class BoundedWorkQueue:
                     self._run_seconds / finished if finished else 0.0
                 ),
                 "last_latency_seconds": self._last_latency,
+                "tenants": {
+                    name: counters.snapshot()
+                    for name, counters in sorted(self._tenants.items())
+                },
             }
 
     def close(self) -> None:
-        """Stop admitting work and let the worker exit after the backlog."""
+        """Stop admitting work and let the workers exit after the backlog."""
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-        self._queue.put(None)
+        for _ in self._threads:
+            self._queue.put(None)
 
 
-__all__ = ["BoundedWorkQueue", "WorkItem", "DEFAULT_CAPACITY"]
+__all__ = ["BoundedWorkQueue", "WorkItem", "DEFAULT_CAPACITY", "DEFAULT_TENANT"]

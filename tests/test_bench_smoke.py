@@ -149,6 +149,89 @@ def test_matching_fast_tier_5x_on_coverage_heavy():
     assert case["speedup"] >= bench.MIN_SPEEDUP, case
 
 
+def _load_serve_load_bench():
+    """Import benchmarks/bench_serve_load.py by path (not a package)."""
+    import importlib.util
+    from pathlib import Path
+
+    path = Path(__file__).parent.parent / "benchmarks" / "bench_serve_load.py"
+    spec = importlib.util.spec_from_file_location("bench_serve_load", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.slow
+def test_serve_load_smoke_concurrency_2x(
+    trained_model, mutagen_db, tmp_path
+):
+    """The serve-tier load harness at smoke scale, on any runner.
+
+    The service-bound scenario's explains release the GIL (simulated
+    backend), so the 4-worker arm must clear >= 2x the single-worker
+    views/sec even on one core — this is the queueing-concurrency
+    claim of results/BENCH_serve_load.json, asserted in CI. The
+    measured scenario must stay bit-identical to serial, and the
+    backpressure probe's counters must be exact. Writes the same JSON
+    artifact shape as the full bench.
+    """
+    import json
+
+    from repro.api import ExplanationService
+
+    bench = _load_serve_load_bench()
+    config = GvexConfig(theta=0.08, radius=0.3).with_bounds(0, 6)
+
+    def svc():
+        return ExplanationService(
+            db=mutagen_db, model=trained_model, config=config
+        )
+
+    service_bound = bench.scenario_service_bound(
+        {f"sb-{i}": svc() for i in range(4)},
+        workers=(1, 4),
+        requests_per_client=3,
+        delay=0.004,
+    )
+    assert service_bound["speedup_views_per_sec"] >= 2.0, service_bound
+    for arm in service_bound["arms"]:
+        assert arm["completed"] == arm["requests"]
+        assert arm["errors"] == []
+        assert arm["p99_ms"] >= arm["p50_ms"] > 0
+
+    from tests.conftest import make_mutagen_db
+
+    measured = bench.scenario_measured(
+        {"alpha": svc(),
+         "beta": ExplanationService(
+             db=make_mutagen_db(12, seed=11),
+             model=trained_model,
+             config=config,
+         )},
+        workers=(1, 4),
+        requests_per_client=1,
+    )
+    assert measured["bit_identical_to_serial"] is True, measured
+
+    backpressure = bench.scenario_backpressure(
+        {"bp-a": svc(), "bp-b": svc()}, burst=6, delay=0.02
+    )
+    assert backpressure["rejected"] >= 1
+    assert backpressure["every_503_has_retry_after"] is True
+    assert backpressure["drained_to_zero_depth"] is True
+    assert backpressure["counters_exact"] is True
+
+    out = tmp_path / "BENCH_serve_load.json"
+    out.write_text(json.dumps({
+        "scenarios": {
+            "service_bound": service_bound,
+            "measured": measured,
+            "backpressure": backpressure,
+        },
+    }, indent=2))
+    assert out.exists()
+
+
 @pytest.mark.slow
 def test_matching_bench_smoke(tmp_path):
     """The full matching bench runs end to end and writes its JSON."""

@@ -21,6 +21,8 @@ signatures) may only ever *skip doomed subtrees*, so any divergence is
 a soundness bug, not a tolerance issue.
 """
 
+import random
+import threading
 from itertools import combinations
 
 import pytest
@@ -281,6 +283,56 @@ class TestPlanCache:
         # query still answers identically
         assert cache.contains(edge, host)
         assert not cache.contains(Pattern.singleton(9), host)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        pairs=st.lists(pattern_host_pairs(), min_size=1, max_size=4),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_concurrent_mixed_queries_bit_identical(self, pairs, seed):
+        """The multi-worker serve pool's contract on the shared cache.
+
+        Four threads fire interleaved coverage/contains queries at one
+        cache with deliberately tiny bounds (so eviction races with
+        lookups); every answer must equal the single-threaded reference
+        and no thread may observe an exception or a torn entry.
+        """
+        reference = MatchPlanCache()
+        expected = [
+            (reference.coverage(p, h), reference.contains(p, h))
+            for p, h in pairs
+        ]
+        shared = MatchPlanCache(max_contexts=2, max_results=8)
+        barrier = threading.Barrier(4)
+        errors, observed = [], {}
+
+        def worker(tid):
+            rng = random.Random(seed + tid)
+            order = list(range(len(pairs))) * 3
+            rng.shuffle(order)
+            out = []
+            barrier.wait(timeout=10)
+            try:
+                for idx in order:
+                    p, h = pairs[idx]
+                    out.append((idx, shared.coverage(p, h),
+                                shared.contains(p, h)))
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+            observed[tid] = out
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for out in observed.values():
+            for idx, cov, cont in out:
+                assert (cov, cont) == expected[idx]
+        stats = shared.stats()
+        assert stats["contexts"] <= 2  # bounds hold under the race
 
     def test_reinit_after_fork_replaces_lock_and_contents(self):
         cache = MatchPlanCache()

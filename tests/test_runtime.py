@@ -359,6 +359,129 @@ class TestBoundedWorkQueue:
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
             BoundedWorkQueue(capacity=0)
+        with pytest.raises(ValueError):
+            BoundedWorkQueue(capacity=1, workers=0)
+        with pytest.raises(ValueError):
+            BoundedWorkQueue(capacity=1, tenant_capacity=0)
+
+
+class TestTenantWorkQueue:
+    def test_workers_run_truly_concurrently(self):
+        """Barrier(4) only releases if 4 jobs are in flight at once."""
+        q = BoundedWorkQueue(capacity=8, workers=4)
+        barrier = threading.Barrier(4)
+        try:
+            items = [
+                q.submit(lambda: barrier.wait(timeout=10)) for _ in range(4)
+            ]
+            # would raise BrokenBarrierError via result() if the pool
+            # ran jobs one at a time
+            assert sorted(item.result(timeout=15) for item in items) == [
+                0, 1, 2, 3
+            ]
+        finally:
+            q.close()
+
+    def test_per_tenant_capacity_isolates_hot_tenant(self):
+        release = threading.Event()
+        q = BoundedWorkQueue(capacity=8, workers=1, tenant_capacity=2)
+        try:
+            q.submit(release.wait, tenant="hot")
+            q.submit(release.wait, tenant="hot")
+            with pytest.raises(QueueFullError) as err:
+                q.submit(lambda: 1, tenant="hot")
+            assert err.value.scope == "tenant"
+            assert err.value.tenant == "hot"
+            # a different tenant is still admitted
+            item = q.submit(lambda: "cold ok", tenant="cold")
+            release.set()
+            assert item.result(timeout=5) == "cold ok"
+            stats = q.stats()
+            assert stats["tenants"]["hot"]["rejected"] == 1
+            assert stats["tenants"]["cold"]["rejected"] == 0
+        finally:
+            release.set()
+            q.close()
+
+    def test_tenant_depth_counts_in_flight(self):
+        """tenant_capacity bounds queued + running, not just the backlog."""
+        release = threading.Event()
+        q = BoundedWorkQueue(capacity=8, workers=1, tenant_capacity=1)
+        try:
+            q.submit(release.wait, tenant="t")
+            time.sleep(0.05)  # worker picks it up: queued=0, in_flight=1
+            assert q.depth_for("t") == 1
+            with pytest.raises(QueueFullError):
+                q.submit(lambda: 1, tenant="t")
+            release.set()
+        finally:
+            release.set()
+            q.close()
+
+    def test_global_rejection_reports_global_scope(self):
+        release = threading.Event()
+        q = BoundedWorkQueue(capacity=1, workers=1)
+        try:
+            q.submit(release.wait, tenant="a")
+            time.sleep(0.05)
+            q.submit(lambda: 1, tenant="b")  # fills the backlog
+            with pytest.raises(QueueFullError) as err:
+                q.submit(lambda: 2, tenant="c")
+            assert err.value.scope == "global"
+            assert err.value.tenant is None
+            release.set()
+        finally:
+            release.set()
+            q.close()
+
+    def test_counters_exact_under_concurrent_submitters(self):
+        """Racing submitters + drain: every event lands in one bucket."""
+        q = BoundedWorkQueue(capacity=4, workers=2)
+        outcomes = {"ok": 0, "rejected": 0, "failed": 0}
+        lock = threading.Lock()
+
+        def submitter(tid):
+            for i in range(20):
+                fail = (i % 5) == 0
+                try:
+                    item = q.submit(
+                        (lambda: 1 / 0) if fail else (lambda: i),
+                        tenant=f"t{tid % 2}",
+                    )
+                except QueueFullError:
+                    with lock:
+                        outcomes["rejected"] += 1
+                    continue
+                try:
+                    item.result(timeout=10)
+                    with lock:
+                        outcomes["ok"] += 1
+                except ZeroDivisionError:
+                    with lock:
+                        outcomes["failed"] += 1
+
+        try:
+            threads = [
+                threading.Thread(target=submitter, args=(t,))
+                for t in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = q.stats()
+            assert stats["completed"] == outcomes["ok"]
+            assert stats["failed"] == outcomes["failed"]
+            assert stats["rejected"] == outcomes["rejected"]
+            assert stats["submitted"] == outcomes["ok"] + outcomes["failed"]
+            assert stats["depth"] == 0 and stats["in_flight"] == 0
+            per_tenant = stats["tenants"]
+            assert sum(
+                t["completed"] for t in per_tenant.values()
+            ) == outcomes["ok"]
+            assert all(t["depth"] == 0 for t in per_tenant.values())
+        finally:
+            q.close()
 
 
 # ----------------------------------------------------------------------
@@ -458,6 +581,83 @@ class TestServeUnderLoad:
         assert health["queue"]["completed"] == accepted
         assert health["queue"]["depth"] == 0
         assert health["queue"]["avg_run_seconds"] > 0
+
+
+    def test_tenant_capacity_503_contract(self, trained_model, mutagen_db):
+        """Tenant-scope backpressure: one hot tenant is shed at its own
+        depth bound with scope='tenant' and Retry-After, while the other
+        tenant keeps being admitted through the same pool."""
+        from repro.api import ExplanationService, TenantRegistry, create_server
+
+        release = threading.Event()
+        registry = TenantRegistry()
+        for name in ("a", "b"):
+            svc = ExplanationService(
+                db=mutagen_db,
+                model=trained_model,
+                config=GvexConfig(theta=0.08, radius=0.3).with_bounds(0, 6),
+            )
+            real = svc.explain
+            svc.explain = (
+                lambda *args, _real=real, **kw: (
+                    release.wait(timeout=30), _real(*args, **kw)
+                )[1]
+            )
+            registry.add_service(name, svc)
+        server = create_server(
+            registry=registry,
+            port=0,
+            workers=2,
+            queue_capacity=8,
+            tenant_queue_capacity=1,
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+
+            def fire(tenant, out):
+                req = urllib.request.Request(
+                    server.url + "/explain",
+                    data=json.dumps(
+                        {"method": "gvex-approx", "tenant": tenant}
+                    ).encode(),
+                    headers={"Content-Type": "application/json"},
+                )
+                try:
+                    with urllib.request.urlopen(req, timeout=60) as r:
+                        out.append((r.status, json.loads(r.read()), {}))
+                except urllib.error.HTTPError as err:
+                    out.append(
+                        (err.code, json.loads(err.read()), dict(err.headers))
+                    )
+
+            hot_ok, hot_shed, cold = [], [], []
+            t1 = threading.Thread(target=fire, args=("a", hot_ok))
+            t1.start()
+            time.sleep(0.2)  # tenant a's explain is now gated in flight
+            fire("a", hot_shed)  # depth 1 >= bound: immediate 503
+            t2 = threading.Thread(target=fire, args=("b", cold))
+            t2.start()
+            release.set()
+            t1.join(timeout=60)
+            t2.join(timeout=60)
+
+            status, body, headers = hot_shed[0]
+            assert status == 503
+            assert body["scope"] == "tenant"
+            assert body["tenant"] == "a"
+            assert headers.get("Retry-After") == "1"
+            assert hot_ok[0][0] == 200
+            assert cold[0][0] == 200
+            _, health = _get(server.url, "/health")
+            tenants = health["queue"]["tenants"]
+            assert tenants["a"]["rejected"] == 1
+            assert tenants["b"]["rejected"] == 0
+            assert health["queue"]["depth"] == 0
+        finally:
+            release.set()
+            server.shutdown()
+            server.server_close()
 
 
 @pytest.fixture(scope="module")

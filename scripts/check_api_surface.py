@@ -1,6 +1,6 @@
 #!/usr/bin/env python
 """Public-API snapshot check for ``repro.api``/``repro.runtime``/
-``repro.matching``.
+``repro.runtime.cluster``/``repro.matching``.
 
 Compares the symbols exported by the supported surfaces (their
 ``__all__``) against the committed manifest
@@ -34,6 +34,11 @@ MANIFEST = REPO / "scripts" / "api_surface.txt"
 SURFACES = [
     ("repro.api", REPO / "src" / "repro" / "api" / "__init__.py", ""),
     ("repro.runtime", REPO / "src" / "repro" / "runtime" / "__init__.py", "runtime."),
+    (
+        "repro.runtime.cluster",
+        REPO / "src" / "repro" / "runtime" / "cluster" / "__init__.py",
+        "runtime.cluster.",
+    ),
     (
         "repro.matching",
         REPO / "src" / "repro" / "matching" / "__init__.py",
@@ -124,10 +129,8 @@ def main(argv: "list[str]" = sys.argv[1:]) -> int:
             "the diff against docs/api.md's deprecation policy"
         )
         return 1
-    print(
-        f"repro.api + repro.runtime + repro.matching surface matches "
-        f"manifest ({len(actual)} symbols)"
-    )
+    names = " + ".join(module_name for module_name, _, _ in SURFACES)
+    print(f"{names} surface matches manifest ({len(actual)} symbols)")
     return 0
 
 

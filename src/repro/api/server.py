@@ -198,7 +198,63 @@ class _PayloadTooLarge(ValueError):
     """Request body exceeds the server's ``max_body_bytes`` (413)."""
 
 
-class _Handler(BaseHTTPRequestHandler):
+class JsonRequestHandler(BaseHTTPRequestHandler):
+    """Reusable JSON-over-HTTP plumbing shared by every repro endpoint.
+
+    Provides bearer-token auth (constant-time compare), bounded body
+    reads (:class:`_PayloadTooLarge` -> 413), JSON responses, and quiet
+    logging. The owning server object must expose ``auth_token``
+    (``Optional[str]``) and ``max_body_bytes`` (``int``). The serving
+    handler below and the cluster coordinator/worker handlers
+    (``repro.runtime.cluster``) all subclass this, so the wire behavior
+    — auth failures, body limits, error shapes — is identical across
+    the whole HTTP surface.
+    """
+
+    def _authorized(self) -> bool:
+        """Bearer-token check on POST routes (constant-time compare)."""
+        token = self.server.auth_token
+        if token is None:
+            return True
+        header = self.headers.get("Authorization") or ""
+        expected = f"Bearer {token}"
+        return hmac.compare_digest(header.encode(), expected.encode())
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return {}
+        if length > self.server.max_body_bytes:
+            # refuse before reading or admitting: oversized requests
+            # must never occupy memory or a queue slot
+            raise _PayloadTooLarge(
+                f"request body of {length} bytes exceeds the "
+                f"{self.server.max_body_bytes}-byte limit"
+            )
+        raw = self.rfile.read(length)
+        data = json.loads(raw.decode("utf-8"))
+        if not isinstance(data, dict):
+            raise ValueError("request body must be a JSON object")
+        return data
+
+    def _json(self, status: int, payload: Dict[str, Any]) -> None:
+        raw = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        if status == 503:
+            self.send_header("Retry-After", "1")
+        self.send_header("Content-Length", str(len(raw)))
+        self.end_headers()
+        self.wfile.write(raw)
+
+    def _error(self, status: int, message: str) -> None:
+        self._json(status, {"error": message})
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # keep the CLI/test output clean
+
+
+class _Handler(JsonRequestHandler):
     server: ExplanationServer  # narrowed type
 
     # ------------------------------------------------------------------
@@ -287,15 +343,6 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(500, f"{type(exc).__name__}: {exc}")
 
     # ------------------------------------------------------------------
-    def _authorized(self) -> bool:
-        """Bearer-token check on POST routes (constant-time compare)."""
-        token = self.server.auth_token
-        if token is None:
-            return True
-        header = self.headers.get("Authorization") or ""
-        expected = f"Bearer {token}"
-        return hmac.compare_digest(header.encode(), expected.encode())
-
     def _tenant_name(self, requested: Optional[str]) -> str:
         """Resolve a request's tenant field against the server default."""
         if requested is not None:
@@ -422,43 +469,10 @@ class _Handler(BaseHTTPRequestHandler):
             "statistics": stats,
         }
 
-    # ------------------------------------------------------------------
-    def _read_body(self) -> Dict[str, Any]:
-        length = int(self.headers.get("Content-Length") or 0)
-        if length == 0:
-            return {}
-        if length > self.server.max_body_bytes:
-            # refuse before reading or admitting: oversized requests
-            # must never occupy memory or a queue slot
-            raise _PayloadTooLarge(
-                f"request body of {length} bytes exceeds the "
-                f"{self.server.max_body_bytes}-byte limit"
-            )
-        raw = self.rfile.read(length)
-        data = json.loads(raw.decode("utf-8"))
-        if not isinstance(data, dict):
-            raise ValueError("request body must be a JSON object")
-        return data
-
-    def _json(self, status: int, payload: Dict[str, Any]) -> None:
-        raw = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        if status == 503:
-            self.send_header("Retry-After", "1")
-        self.send_header("Content-Length", str(len(raw)))
-        self.end_headers()
-        self.wfile.write(raw)
-
-    def _error(self, status: int, message: str) -> None:
-        self._json(status, {"error": message})
-
-    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
-        pass  # keep the CLI/test output clean
-
 
 __all__ = [
     "ExplanationServer",
+    "JsonRequestHandler",
     "create_server",
     "serve",
     "DEFAULT_HOST",

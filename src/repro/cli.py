@@ -220,6 +220,81 @@ def build_parser() -> argparse.ArgumentParser:
         "others keep being admitted",
     )
 
+    p_coord = sub.add_parser(
+        "cluster-coordinator",
+        help="dispatch one explain job to a worker fleet over HTTP "
+        "(repro.runtime.cluster; see docs/distribution.md)",
+    )
+    _add_dataset_args(p_coord)
+    p_coord.add_argument("--model", help=".npz model (default: train fresh)")
+    p_coord.add_argument(
+        "--method",
+        default="gvex-approx",
+        type=str.lower,
+        choices=explainer_names(include_aliases=True),
+        metavar="METHOD",
+    )
+    p_coord.add_argument("--theta", type=float, default=0.08)
+    p_coord.add_argument("--radius", type=float, default=0.3)
+    p_coord.add_argument("--gamma", type=float, default=0.5)
+    p_coord.add_argument("--lower", type=int, default=0)
+    p_coord.add_argument("--upper", type=int, default=6)
+    p_coord.add_argument("--host", default=DEFAULT_HOST)
+    p_coord.add_argument("--port", type=int, default=0,
+                         help="TCP port (0 picks a free one)")
+    p_coord.add_argument(
+        "--min-workers",
+        type=int,
+        default=1,
+        help="wait for this many registered workers before dispatching",
+    )
+    p_coord.add_argument(
+        "--wait",
+        type=float,
+        default=60.0,
+        help="seconds to wait for --min-workers registrations",
+    )
+    p_coord.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=None,
+        help="declare a worker dead after this many silent seconds "
+        "(its in-flight shards re-dispatch to survivors)",
+    )
+    p_coord.add_argument(
+        "--auth-token",
+        default=None,
+        help="shared bearer token for every cluster POST route",
+    )
+    p_coord.add_argument("--out", required=True, help="merged views .json path")
+
+    p_work = sub.add_parser(
+        "cluster-worker",
+        help="serve explain shards for a coordinator "
+        "(registers, heartbeats, exits when the coordinator goes away)",
+    )
+    _add_dataset_args(p_work)
+    p_work.add_argument(
+        "--coordinator", required=True, help="coordinator base URL"
+    )
+    p_work.add_argument(
+        "--model",
+        required=True,
+        help=".npz model — must be the same artifact the coordinator "
+        "uses, since models never ship over the wire",
+    )
+    p_work.add_argument("--host", default=DEFAULT_HOST)
+    p_work.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 picks a free one)")
+    p_work.add_argument("--worker-id", default=None)
+    p_work.add_argument("--heartbeat-interval", type=float, default=None)
+    p_work.add_argument("--auth-token", default=None)
+    p_work.add_argument(
+        "--no-warm",
+        action="store_true",
+        help="skip the GET /cache warm boot (cold plan cache)",
+    )
+
     return parser
 
 
@@ -392,6 +467,80 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         finally:
             server.server_close()
             _SERVE_STATE.pop("server", None)
+        return 0
+
+    if args.command == "cluster-coordinator":
+        from repro.runtime import build_plan
+        from repro.runtime.cluster import ClusterCoordinator, DistributedExecutor
+
+        config = GvexConfig(
+            theta=args.theta, radius=args.radius, gamma=args.gamma
+        ).with_bounds(args.lower, args.upper)
+        svc = _service(args, config)
+        _attach_model(svc, args)
+        kwargs = {"auth_token": args.auth_token}
+        if args.heartbeat_timeout is not None:
+            kwargs["heartbeat_timeout"] = args.heartbeat_timeout
+        coordinator = ClusterCoordinator(args.host, args.port, **kwargs)
+        _SERVE_STATE["coordinator"] = coordinator
+        with coordinator:
+            print(f"coordinator on {coordinator.url} "
+                  f"[dataset: {args.dataset} ({args.scale})]", flush=True)
+            coordinator.wait_for_workers(args.min_workers, timeout=args.wait)
+            plan = build_plan(
+                svc.db, svc.model, config, method=args.method, seed=args.seed
+            )
+            views, stats = DistributedExecutor(coordinator).run(plan)
+            from repro.graphs.io import save_views
+
+            save_views(views, args.out)
+            for view in views:
+                print(
+                    f"label {view.label}: {len(view.subgraphs)} subgraphs, "
+                    f"{len(view.patterns)} patterns, f={view.score:.3f}"
+                )
+            print(
+                f"dispatched {stats['shards']} shard(s) to "
+                f"{stats['workers_used']} worker(s), "
+                f"re-dispatched {stats['redispatched']}; "
+                f"saved views to {args.out}"
+            )
+        _SERVE_STATE.pop("coordinator", None)
+        return 0
+
+    if args.command == "cluster-worker":
+        from repro.datasets import load_dataset
+        from repro.gnn.model import GnnClassifier
+        from repro.runtime.cluster import ClusterWorker
+
+        if not Path(args.model).exists():
+            raise SystemExit(f"model file not found: {args.model}")
+        db = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        model = GnnClassifier.load(args.model)
+        kwargs = {
+            "host": args.host,
+            "port": args.port,
+            "worker_id": args.worker_id,
+            "auth_token": args.auth_token,
+            "warm_start": not args.no_warm,
+        }
+        if args.heartbeat_interval is not None:
+            kwargs["heartbeat_interval"] = args.heartbeat_interval
+        worker = ClusterWorker(db, model, args.coordinator, **kwargs)
+        _SERVE_STATE["worker"] = worker
+        with worker:
+            print(f"worker {worker.worker_id} on {worker.url} -> "
+                  f"{worker.coordinator_url}"
+                  + (f" [warm: {worker.warm_stats}]" if worker.warm_stats
+                     else ""),
+                  flush=True)
+            try:
+                worker.join()
+            except KeyboardInterrupt:  # pragma: no cover - interactive only
+                pass
+        print(f"worker {worker.worker_id} exited after "
+              f"{worker.shards_run} shard(s)")
+        _SERVE_STATE.pop("worker", None)
         return 0
 
     return 1  # pragma: no cover - argparse enforces valid commands

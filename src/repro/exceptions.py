@@ -69,5 +69,23 @@ class WorkerCrashError(ReproError):
     """A fork-pool worker process died mid-shard (killed or crashed)."""
 
 
+class WireError(ReproError):
+    """Malformed cluster wire message (missing field, wrong type...)."""
+
+
+class WireVersionError(WireError):
+    """A cluster wire message carried an unsupported schema version."""
+
+
+class ClusterError(ReproError):
+    """A cluster run could not complete (no live workers left...)."""
+
+
+class TransportError(ClusterError):
+    """An HTTP exchange with a cluster peer failed (connect, timeout,
+    non-2xx status, unparseable body). The coordinator treats this as
+    evidence the peer is dead and re-dispatches its in-flight shards."""
+
+
 class MiningError(ReproError):
     """Problem during pattern mining."""

@@ -36,10 +36,15 @@ import threading
 from collections import OrderedDict
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from repro.exceptions import MatchingError
 from repro.graphs.graph import Graph
 from repro.graphs.pattern import Pattern
 from repro.matching.context import MatchContext, MatchPlan, graph_content_key
 from repro.matching.isomorphism import are_isomorphic, find_isomorphisms
+
+#: current plan-cache snapshot format (``export_snapshot``); bump on
+#: incompatible change — unknown versions are rejected on load
+SNAPSHOT_SCHEMA_VERSION = 1
 
 #: exact canonical pattern identity: (registry generation, WL key,
 #: bucket position) — the generation increments when the pattern
@@ -79,6 +84,11 @@ class MatchPlanCache:
         self._contains: "OrderedDict[Tuple[CanonKey, str], bool]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: how many MatchPlan / MatchContext objects were *constructed*
+        #: (vs served from the cache) — the warm-tier boot contract
+        #: asserts a snapshot-warmed worker records zero plan builds
+        self.plan_builds = 0
+        self.context_builds = 0
 
     # ------------------------------------------------------------------
     # keys and shared precomputation
@@ -165,6 +175,7 @@ class MatchPlanCache:
             if plan is None:
                 plan = MatchPlan(canon)
                 self._plans[key] = plan
+                self.plan_builds += 1
         return canon, key, plan
 
     def context(
@@ -178,6 +189,7 @@ class MatchPlanCache:
             if ctx is None:
                 ctx = MatchContext(host)
                 self._contexts[host_key] = ctx
+                self.context_builds += 1
                 while len(self._contexts) > self.max_contexts:
                     self._contexts.popitem(last=False)
             else:
@@ -369,6 +381,133 @@ class MatchPlanCache:
         return [bool(flag) for flag in out]
 
     # ------------------------------------------------------------------
+    # snapshots: the cross-process warm tier (docs/distribution.md)
+    # ------------------------------------------------------------------
+    def export_snapshot(self) -> Dict[str, object]:
+        """The cache's portable warm state as versioned plain JSON.
+
+        Everything is keyed on *content keys* — pattern graphs ship in
+        full (plans are deterministic functions of them and rebuild on
+        load), coverage and containment results ship by (pattern
+        content key, host content key). Live objects (``MatchPlan``,
+        ``MatchContext``) never serialize: a loader reconstructs plans
+        from the shipped patterns and rebuilds contexts lazily, so a
+        snapshot can cross process and machine boundaries safely.
+        """
+        from repro.graphs.io import graph_to_dict
+
+        with self._lock:
+            canon_content: Dict[CanonKey, str] = {}
+            patterns: Dict[str, Dict[str, object]] = {}
+            for wl_key, bucket in self._identity.items():
+                for pos, pattern in enumerate(bucket):
+                    content = graph_content_key(pattern.graph)
+                    canon_content[(self._generation, wl_key, pos)] = content
+                    patterns[content] = graph_to_dict(pattern.graph)
+            coverage = []
+            for (key, host_key, cap), (nodes, edges) in self._coverage.items():
+                content = canon_content.get(key)
+                if content is None:  # keyed before a registry reset
+                    continue
+                coverage.append(
+                    [
+                        content,
+                        host_key,
+                        cap,
+                        sorted(nodes),
+                        sorted([u, v] for u, v in edges),
+                    ]
+                )
+            contains = []
+            for (key, host_key), flag in self._contains.items():
+                content = canon_content.get(key)
+                if content is None:
+                    continue
+                contains.append([content, host_key, bool(flag)])
+        return {
+            "schema": SNAPSHOT_SCHEMA_VERSION,
+            "patterns": patterns,
+            "coverage": coverage,
+            "contains": contains,
+        }
+
+    def load_snapshot(self, snapshot: Dict[str, object]) -> Dict[str, int]:
+        """Warm this cache from :meth:`export_snapshot` output.
+
+        Unknown snapshot versions are rejected
+        (:class:`~repro.exceptions.MatchingError`); *stale entries are
+        dropped, never applied*: a pattern whose shipped graph no
+        longer hashes to its recorded content key (corruption, a
+        content-key algorithm change) is skipped along with every
+        result keyed on it, and malformed rows are skipped
+        individually. Plans for the surviving patterns are rebuilt
+        eagerly — that is the point of warming: the subsequent run
+        records **zero** plan builds for snapshot-covered patterns.
+
+        Returns ``{"patterns", "coverage", "contains", "dropped"}``
+        counts for diagnostics.
+        """
+        from repro.graphs.io import graph_from_dict
+
+        if not isinstance(snapshot, dict):
+            raise MatchingError("plan-cache snapshot must be a JSON object")
+        schema = snapshot.get("schema")
+        if schema != SNAPSHOT_SCHEMA_VERSION:
+            raise MatchingError(
+                f"unsupported plan-cache snapshot schema {schema!r}; "
+                f"this build reads version {SNAPSHOT_SCHEMA_VERSION}"
+            )
+        stats = {"patterns": 0, "coverage": 0, "contains": 0, "dropped": 0}
+        key_of: Dict[str, CanonKey] = {}
+        for content, graph_dict in dict(snapshot.get("patterns") or {}).items():
+            try:
+                pattern = Pattern(graph_from_dict(graph_dict))
+            except Exception:
+                stats["dropped"] += 1
+                continue
+            if graph_content_key(pattern.graph) != content:
+                stats["dropped"] += 1  # stale key: drop, don't apply
+                continue
+            _, key, _ = self.plan(pattern)  # registers + rebuilds the plan
+            key_of[content] = key
+            stats["patterns"] += 1
+        for row in list(snapshot.get("coverage") or []):
+            try:
+                content, host_key, cap, nodes, edges = row
+                key = key_of[content]
+                if not isinstance(host_key, str) or not isinstance(cap, int):
+                    raise ValueError(row)
+                value = (
+                    frozenset(int(n) for n in nodes),
+                    frozenset((int(u), int(v)) for u, v in edges),
+                )
+            except (KeyError, TypeError, ValueError):
+                stats["dropped"] += 1
+                continue
+            with self._lock:
+                self._coverage[(key, host_key, cap)] = value
+                if (key, host_key) not in self._contains:
+                    self._contains[(key, host_key)] = bool(value[0])
+                while len(self._coverage) > self.max_results:
+                    self._coverage.popitem(last=False)
+            stats["coverage"] += 1
+        for row in list(snapshot.get("contains") or []):
+            try:
+                content, host_key, flag = row
+                key = key_of[content]
+                if not isinstance(host_key, str) or not isinstance(flag, bool):
+                    raise ValueError(row)
+            except (KeyError, TypeError, ValueError):
+                stats["dropped"] += 1
+                continue
+            with self._lock:
+                self._contains[(key, host_key)] = flag
+                while len(self._contains) > self.max_results:
+                    self._contains.popitem(last=False)
+            stats["contains"] += 1
+        return stats
+
+    # ------------------------------------------------------------------
     def _reinit_after_fork(self) -> None:
         """Replace the lock and drop contents in a freshly forked child.
 
@@ -401,6 +540,8 @@ class MatchPlanCache:
             self._contains.clear()
             self.hits = 0
             self.misses = 0
+            self.plan_builds = 0
+            self.context_builds = 0
 
     def stats(self) -> Dict[str, int]:
         """Cache occupancy and hit counters (for benches / diagnostics)."""
@@ -412,6 +553,8 @@ class MatchPlanCache:
                 "contains_entries": len(self._contains),
                 "hits": self.hits,
                 "misses": self.misses,
+                "plan_builds": self.plan_builds,
+                "context_builds": self.context_builds,
             }
 
 
@@ -456,4 +599,10 @@ if hasattr(os, "register_at_fork"):  # POSIX: fork-pool workers
     os.register_at_fork(after_in_child=PLAN_CACHE._reinit_after_fork)
 
 
-__all__ = ["MatchPlanCache", "PLAN_CACHE", "CanonKey", "LocalCoverage"]
+__all__ = [
+    "MatchPlanCache",
+    "PLAN_CACHE",
+    "CanonKey",
+    "LocalCoverage",
+    "SNAPSHOT_SCHEMA_VERSION",
+]

@@ -1,0 +1,82 @@
+"""``repro.runtime.cluster`` — sharded explanation over the wire.
+
+The multi-machine realization of the merge contract
+:class:`~repro.runtime.ShardedExecutor` proves on one box: a
+:class:`ClusterCoordinator` dispatches a plan's label-group shards to
+registered :class:`ClusterWorker`\\ s over HTTP, collects partial view
+sets, and merges them through ``repro.runtime.merge`` — bit-identical
+to :class:`~repro.runtime.SerialExecutor`. Workers heartbeat; dead or
+silent workers get their in-flight shards re-dispatched to survivors;
+a versioned wire schema (``cluster.wire``) keeps every exchange
+strictly validated; and the coordinator serves a warm tier
+(``GET /cache``) so new workers boot with the fleet's match-plan and
+view-index state instead of recomputing it.
+
+Topology, wire schema, and fault semantics: ``docs/distribution.md``.
+"""
+
+from repro.runtime.cluster.coordinator import (
+    DEFAULT_HEARTBEAT_TIMEOUT,
+    DEFAULT_REQUEST_TIMEOUT,
+    ClusterCoordinator,
+    DistributedExecutor,
+    WorkerRecord,
+)
+from repro.runtime.cluster.wire import (
+    MESSAGE_TYPES,
+    WIRE_SCHEMA_VERSION,
+    CacheSnapshotMessage,
+    DispatchMessage,
+    HeartbeatMessage,
+    RegisterMessage,
+    ResultMessage,
+    canonical_bytes,
+    check_envelope,
+    decode_cache_snapshot,
+    decode_dispatch,
+    decode_heartbeat,
+    decode_register,
+    decode_result,
+    encode_cache_snapshot,
+    encode_dispatch,
+    encode_heartbeat,
+    encode_register,
+    encode_result,
+)
+from repro.runtime.cluster.worker import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    DEFAULT_MAX_MISSED,
+    ClusterWorker,
+)
+
+__all__ = [
+    # topology
+    "ClusterCoordinator",
+    "ClusterWorker",
+    "DistributedExecutor",
+    "WorkerRecord",
+    "DEFAULT_HEARTBEAT_TIMEOUT",
+    "DEFAULT_REQUEST_TIMEOUT",
+    "DEFAULT_HEARTBEAT_INTERVAL",
+    "DEFAULT_MAX_MISSED",
+    # wire schema
+    "WIRE_SCHEMA_VERSION",
+    "MESSAGE_TYPES",
+    "RegisterMessage",
+    "HeartbeatMessage",
+    "DispatchMessage",
+    "ResultMessage",
+    "CacheSnapshotMessage",
+    "encode_register",
+    "decode_register",
+    "encode_heartbeat",
+    "decode_heartbeat",
+    "encode_dispatch",
+    "decode_dispatch",
+    "encode_result",
+    "decode_result",
+    "encode_cache_snapshot",
+    "decode_cache_snapshot",
+    "check_envelope",
+    "canonical_bytes",
+]

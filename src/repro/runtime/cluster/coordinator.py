@@ -1,0 +1,482 @@
+"""The cluster coordinator: registry, heartbeats, dispatch, merge.
+
+One :class:`ClusterCoordinator` owns a threaded HTTP endpoint and the
+cluster's authoritative worker registry:
+
+``POST /register``   a worker announces its dispatch URL
+``POST /heartbeat``  a worker's liveness beacon
+``GET  /cache``      the warm tier: plan-cache + view-index snapshots
+``GET  /status``     registry + job bookkeeping (diagnostics)
+
+Jobs run through :meth:`ClusterCoordinator.run`: the plan's label-group
+shards become :data:`~repro.runtime.cluster.wire.MSG_DISPATCH`
+envelopes in a pending queue; one dispatcher thread per live worker
+drains it with synchronous ``POST /shard`` calls; partial view sets
+come back as ``result`` envelopes and merge through
+``repro.runtime.merge`` — the exact contract
+:class:`~repro.runtime.executors.ShardedExecutor` proves bit-identical
+to the serial reference.
+
+Fault model (tests/test_cluster_faults.py):
+
+* A dispatch that fails — connection refused/reset, timeout, non-2xx,
+  malformed or wrong-schema result envelope — marks the worker dead
+  and **requeues the shard**; a surviving worker picks it up.
+* A worker whose heartbeat goes silent for ``heartbeat_timeout``
+  seconds is marked dead by the collect loop and its in-flight shards
+  are requeued *immediately*, even while a stale dispatch call is
+  still hanging (straggler re-dispatch). Duplicate results are
+  harmless: shard work is deterministic and only the first result per
+  shard is recorded.
+* When every worker is dead and shards remain, :class:`ClusterError`
+  surfaces — nothing hangs.
+
+:class:`DistributedExecutor` adapts a coordinator to the
+:class:`~repro.runtime.executors.Executor` surface, with the same
+serial fallbacks as the fork pool (per-group coverage scope,
+native-view methods).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import deque
+from http.server import ThreadingHTTPServer
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.config import SCOPE_PER_GROUP
+from repro.exceptions import ClusterError, TransportError, WireError
+from repro.graphs.view import ViewSet
+from repro.matching.plan_cache import PLAN_CACHE
+from repro.runtime.cluster import wire
+from repro.runtime.cluster.transport import post_json
+from repro.runtime.executors import Executor, SerialExecutor, _native_non_approx
+from repro.runtime.merge import merge_view_sets
+from repro.runtime.plan import ExplainPlan
+
+#: a worker missing heartbeats for this long is declared dead
+DEFAULT_HEARTBEAT_TIMEOUT = 10.0
+#: per-dispatch HTTP timeout (a shard must answer within this)
+DEFAULT_REQUEST_TIMEOUT = 300.0
+
+
+class WorkerRecord:
+    """Coordinator-side view of one registered worker."""
+
+    def __init__(self, worker_id: str, url: str) -> None:
+        self.worker_id = worker_id
+        self.url = url.rstrip("/")
+        self.alive = True
+        self.last_seen = time.monotonic()
+        self.seq = -1
+        self.shards_done = 0
+
+    def touch(self, seq: int) -> None:
+        self.last_seen = time.monotonic()
+        self.seq = max(self.seq, seq)
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "worker_id": self.worker_id,
+            "url": self.url,
+            "alive": self.alive,
+            "seq": self.seq,
+            "age": round(time.monotonic() - self.last_seen, 3),
+            "shards_done": self.shards_done,
+        }
+
+
+class _CoordinatorServer(ThreadingHTTPServer):
+    """The HTTP face of a coordinator (handler plumbing lives below)."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, coordinator: "ClusterCoordinator"):
+        from repro.runtime.cluster.handlers import CoordinatorHandler
+
+        super().__init__(address, CoordinatorHandler)
+        self.coordinator = coordinator
+
+    # JsonRequestHandler contract
+    @property
+    def auth_token(self) -> Optional[str]:
+        return self.coordinator.auth_token
+
+    @property
+    def max_body_bytes(self) -> int:
+        return self.coordinator.max_body_bytes
+
+
+class ClusterCoordinator:
+    """Own the worker registry and drive explain jobs over the wire."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        auth_token: Optional[str] = None,
+        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+        max_body_bytes: int = 64 << 20,
+    ) -> None:
+        self.auth_token = auth_token
+        self.heartbeat_timeout = heartbeat_timeout
+        self.request_timeout = request_timeout
+        self.max_body_bytes = max_body_bytes
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._workers: Dict[str, WorkerRecord] = {}
+        #: view-index snapshot published for GET /cache (plan-cache
+        #: state is exported live from the process-global PLAN_CACHE)
+        self._index_snapshot: Optional[Dict[str, Any]] = None
+        self._jobs_run = 0
+        self._redispatches = 0
+        self._server = _CoordinatorServer((host, port), self)
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ClusterCoordinator":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="cluster-coordinator",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        with self._wake:
+            self._wake.notify_all()
+
+    def __enter__(self) -> "ClusterCoordinator":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # registry (called from handler threads)
+    # ------------------------------------------------------------------
+    def register(self, msg: wire.RegisterMessage) -> Dict[str, Any]:
+        with self._wake:
+            record = WorkerRecord(msg.worker_id, msg.url)
+            self._workers[msg.worker_id] = record
+            self._wake.notify_all()
+        return {"worker_id": msg.worker_id, "heartbeat": self.heartbeat_timeout}
+
+    def heartbeat(self, msg: wire.HeartbeatMessage) -> Dict[str, Any]:
+        with self._lock:
+            record = self._workers.get(msg.worker_id)
+            if record is None or not record.alive:
+                # a dead/unknown worker must re-register, not resume:
+                # its previous in-flight shards were already requeued
+                raise ClusterError(
+                    f"worker {msg.worker_id!r} is not registered (or was "
+                    "declared dead); re-register"
+                )
+            record.touch(msg.seq)
+        return {"worker_id": msg.worker_id, "alive": True}
+
+    def workers(self, alive_only: bool = False) -> List[Dict[str, Any]]:
+        with self._lock:
+            records = list(self._workers.values())
+        return [
+            r.describe() for r in records if r.alive or not alive_only
+        ]
+
+    def wait_for_workers(self, count: int, timeout: float = 30.0) -> None:
+        """Block until ``count`` live workers are registered."""
+        deadline = time.monotonic() + timeout
+        with self._wake:
+            while True:
+                live = sum(1 for r in self._workers.values() if r.alive)
+                if live >= count:
+                    return
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or self._closed:
+                    raise ClusterError(
+                        f"only {live}/{count} workers registered within "
+                        f"{timeout:.1f}s"
+                    )
+                self._wake.wait(timeout=min(remaining, 0.5))
+
+    # ------------------------------------------------------------------
+    # warm tier
+    # ------------------------------------------------------------------
+    def publish_index_snapshot(self, snapshot: Optional[Dict[str, Any]]) -> None:
+        """Set the view-index snapshot served at ``GET /cache``."""
+        with self._lock:
+            self._index_snapshot = snapshot
+
+    def cache_snapshot(self) -> Dict[str, Any]:
+        """The ``cache_snapshot`` envelope a booting worker loads."""
+        with self._lock:
+            index = self._index_snapshot
+        return wire.encode_cache_snapshot(
+            plan_cache=PLAN_CACHE.export_snapshot(), view_index=index
+        )
+
+    def status(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "status": "ok",
+                "workers": [r.describe() for r in self._workers.values()],
+                "jobs_run": self._jobs_run,
+                "redispatches": self._redispatches,
+                "heartbeat_timeout": self.heartbeat_timeout,
+                "auth": self.auth_token is not None,
+            }
+
+    # ------------------------------------------------------------------
+    # job execution
+    # ------------------------------------------------------------------
+    def run(
+        self, plan: ExplainPlan, job_id: Optional[str] = None
+    ) -> Tuple[ViewSet, Dict[str, int]]:
+        """Dispatch a plan's shards to the fleet; merge the partials.
+
+        Bit-parity contract: each worker returns one partial
+        ``ViewSet`` per shard (that shard's subgraphs + its own Psum
+        tail); partials merge label-by-label in shard order through
+        :func:`~repro.runtime.merge.merge_view_sets`, whose union +
+        re-summarize is proven identical to the serial schedule.
+        """
+        job_id = job_id or f"job-{uuid.uuid4().hex[:12]}"
+        envelopes = {
+            shard_id: wire.encode_dispatch(
+                job_id=job_id,
+                shard_id=shard_id,
+                label=shard.label,
+                indices=shard.indices,
+                method=plan.method,
+                seed=plan.seed,
+                config=plan.config,
+                explainer_kwargs=plan.explainer_kwargs,
+            )
+            for shard_id, shard in enumerate(plan.shards)
+        }
+        job = _Job(self, job_id, envelopes)
+        views, stats = job.collect(plan)
+        with self._lock:
+            self._jobs_run += 1
+            self._redispatches += stats.get("redispatched", 0)
+        return views, stats
+
+
+class _Job:
+    """Bookkeeping for one in-flight dispatch/collect cycle."""
+
+    def __init__(
+        self,
+        coordinator: ClusterCoordinator,
+        job_id: str,
+        envelopes: Dict[int, Dict[str, Any]],
+    ) -> None:
+        self.coord = coordinator
+        self.job_id = job_id
+        self.envelopes = envelopes
+        self.lock = threading.Lock()
+        self.done = threading.Condition(self.lock)
+        self.pending: Deque[int] = deque(sorted(envelopes))
+        #: worker_id -> shard ids currently posted to that worker
+        self.in_flight: Dict[str, Set[int]] = {}
+        self.results: Dict[int, wire.ResultMessage] = {}
+        self.redispatched = 0
+        self.dispatchers: Dict[str, threading.Thread] = {}
+
+    # -- dispatcher side ------------------------------------------------
+    def _next_shard(self, worker_id: str) -> Optional[int]:
+        with self.lock:
+            if not self.pending:
+                return None
+            shard_id = self.pending.popleft()
+            self.in_flight.setdefault(worker_id, set()).add(shard_id)
+            return shard_id
+
+    def _record(self, worker_id: str, shard_id: int, msg: wire.ResultMessage) -> None:
+        with self.done:
+            self.in_flight.get(worker_id, set()).discard(shard_id)
+            # first result wins; a duplicate from a requeued shard is
+            # bit-identical anyway (deterministic work), so dropping it
+            # keeps the stats exact without affecting the views
+            if shard_id not in self.results:
+                self.results[shard_id] = msg
+            self.done.notify_all()
+
+    def _requeue(self, shard_ids: Set[int]) -> None:
+        """Put un-finished shards back on the queue (caller holds lock)."""
+        for shard_id in sorted(shard_ids):
+            if shard_id not in self.results and shard_id not in self.pending:
+                self.pending.append(shard_id)
+                self.redispatched += 1
+
+    def _mark_dead(self, worker_id: str) -> None:
+        with self.coord._lock:
+            record = self.coord._workers.get(worker_id)
+            if record is not None and record.alive:
+                record.alive = False
+            else:
+                record = None
+        with self.done:
+            if record is not None or self.in_flight.get(worker_id):
+                self._requeue(self.in_flight.pop(worker_id, set()))
+            self.done.notify_all()
+
+    def _dispatch_loop(self, worker_id: str, url: str) -> None:
+        while True:
+            shard_id = self._next_shard(worker_id)
+            if shard_id is None:
+                return
+            try:
+                response = post_json(
+                    f"{url}/shard",
+                    self.envelopes[shard_id],
+                    token=self.coord.auth_token,
+                    timeout=self.coord.request_timeout,
+                )
+                msg = wire.decode_result(response)
+                if msg.job_id != self.job_id or msg.shard_id != shard_id:
+                    raise WireError(
+                        f"worker {worker_id!r} answered for "
+                        f"job={msg.job_id!r} shard={msg.shard_id} "
+                        f"(wanted job={self.job_id!r} shard={shard_id})"
+                    )
+            except (TransportError, WireError):
+                # one strike: a peer that drops connections or speaks
+                # garbage cannot be trusted with in-flight work
+                self._mark_dead(worker_id)
+                return
+            with self.coord._lock:
+                record = self.coord._workers.get(worker_id)
+                dead = record is None or not record.alive
+                if record is not None:
+                    record.shards_done += 1
+            # recording is safe even if this worker was declared dead
+            # (heartbeat timeout) while the call was hanging: its shards
+            # were already requeued, and first-result-wins keeps the
+            # merge exact because the duplicate is bit-identical
+            self._record(worker_id, shard_id, msg)
+            if dead:
+                return
+
+    # -- collect side ---------------------------------------------------
+    def _live_workers(self) -> List[WorkerRecord]:
+        with self.coord._lock:
+            return [r for r in self.coord._workers.values() if r.alive]
+
+    def _reap_silent(self) -> None:
+        """Declare heartbeat-silent workers dead; requeue their shards."""
+        now = time.monotonic()
+        stale: List[str] = []
+        with self.coord._lock:
+            for record in self.coord._workers.values():
+                if record.alive and (
+                    now - record.last_seen > self.coord.heartbeat_timeout
+                ):
+                    record.alive = False
+                    stale.append(record.worker_id)
+        for worker_id in stale:
+            with self.done:
+                self._requeue(self.in_flight.pop(worker_id, set()))
+                self.done.notify_all()
+
+    def _ensure_dispatchers(self) -> None:
+        """One dispatcher thread per live worker (join-late included)."""
+        for record in self._live_workers():
+            thread = self.dispatchers.get(record.worker_id)
+            if thread is not None and thread.is_alive():
+                continue
+            with self.lock:
+                if not self.pending:
+                    continue
+            thread = threading.Thread(
+                target=self._dispatch_loop,
+                args=(record.worker_id, record.url),
+                name=f"dispatch-{record.worker_id}",
+                daemon=True,
+            )
+            self.dispatchers[record.worker_id] = thread
+            thread.start()
+
+    def collect(self, plan: ExplainPlan) -> Tuple[ViewSet, Dict[str, int]]:
+        if not self._live_workers():
+            raise ClusterError(
+                "no live workers registered; start workers (repro.cli "
+                "cluster-worker) or wait_for_workers() first"
+            )
+        poll = max(min(self.coord.heartbeat_timeout / 4, 0.5), 0.05)
+        while True:
+            self._reap_silent()
+            self._ensure_dispatchers()
+            with self.done:
+                if len(self.results) == len(self.envelopes):
+                    break
+                self.done.wait(timeout=poll)
+                if len(self.results) == len(self.envelopes):
+                    break
+                unfinished = len(self.envelopes) - len(self.results)
+            if unfinished and not self._live_workers():
+                raise ClusterError(
+                    f"job {self.job_id!r}: every worker died with "
+                    f"{unfinished} shard(s) unfinished "
+                    f"(re-dispatched {self.redispatched})"
+                )
+        parts = [self.results[sid].views for sid in sorted(self.results)]
+        calls = sum(self.results[sid].inference_calls for sid in self.results)
+        merged = merge_view_sets(parts, plan.config, labels=plan.labels)
+        return merged, {
+            "inference_calls": calls,
+            "redispatched": self.redispatched,
+            "workers_used": len({r.worker_id for r in self.results.values()}),
+            "shards": len(self.envelopes),
+        }
+
+
+class DistributedExecutor(Executor):
+    """The cluster behind the standard ``Executor`` surface.
+
+    Same fallbacks as the fork pool: per-*group* coverage scope and
+    native-view methods can't be shard-decomposed without changing
+    semantics, so those plans run through :class:`SerialExecutor`
+    in-process. Everything else ships over the wire.
+    """
+
+    name = "distributed"
+
+    def __init__(self, coordinator: ClusterCoordinator):
+        self.coordinator = coordinator
+
+    def run(self, plan: ExplainPlan) -> Tuple[ViewSet, Dict[str, int]]:
+        if plan.config.coverage_scope == SCOPE_PER_GROUP:
+            return SerialExecutor().run(plan)
+        if _native_non_approx(plan):
+            return SerialExecutor().run(plan)
+        return self.coordinator.run(plan)
+
+
+__all__ = [
+    "ClusterCoordinator",
+    "DistributedExecutor",
+    "WorkerRecord",
+    "DEFAULT_HEARTBEAT_TIMEOUT",
+    "DEFAULT_REQUEST_TIMEOUT",
+]

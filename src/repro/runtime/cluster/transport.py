@@ -1,0 +1,90 @@
+"""HTTP client plumbing for cluster peers (stdlib ``urllib`` only).
+
+Two calls — POST a JSON object, GET a JSON object — with bearer auth
+and a hard timeout. Every failure mode a distributed caller must react
+to (connection refused, reset, timeout, non-2xx status, body that is
+not JSON) collapses into one typed exception,
+:class:`~repro.exceptions.TransportError`, because they all mean the
+same thing to the coordinator: *this peer cannot be trusted with
+in-flight work right now*. Wire-schema validation stays out of this
+module — callers decode the returned object with ``cluster.wire``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+from repro.exceptions import TransportError
+
+#: default per-request timeout; dispatch calls override this with the
+#: coordinator's configured request timeout
+DEFAULT_TIMEOUT = 30.0
+
+
+def _headers(token: Optional[str]) -> Dict[str, str]:
+    headers = {"Content-Type": "application/json"}
+    if token is not None:
+        headers["Authorization"] = f"Bearer {token}"
+    return headers
+
+
+def _exchange(request: Request, timeout: float) -> Dict[str, Any]:
+    try:
+        with urlopen(request, timeout=timeout) as response:
+            raw = response.read()
+    except HTTPError as exc:
+        detail = ""
+        try:
+            body = json.loads(exc.read().decode("utf-8"))
+            detail = f": {body.get('error', body)}"
+        except Exception:
+            pass
+        raise TransportError(
+            f"{request.full_url} answered HTTP {exc.code}{detail}"
+        ) from exc
+    except (URLError, OSError, TimeoutError) as exc:
+        raise TransportError(f"{request.full_url} unreachable: {exc}") from exc
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise TransportError(
+            f"{request.full_url} returned a non-JSON body"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise TransportError(
+            f"{request.full_url} returned a non-object JSON body"
+        )
+    return payload
+
+
+def post_json(
+    url: str,
+    payload: Dict[str, Any],
+    *,
+    token: Optional[str] = None,
+    timeout: float = DEFAULT_TIMEOUT,
+) -> Dict[str, Any]:
+    """POST a JSON object; return the (JSON object) response body."""
+    body = json.dumps(payload).encode("utf-8")
+    return _exchange(
+        Request(url, data=body, headers=_headers(token), method="POST"),
+        timeout,
+    )
+
+
+def get_json(
+    url: str,
+    *,
+    token: Optional[str] = None,
+    timeout: float = DEFAULT_TIMEOUT,
+) -> Dict[str, Any]:
+    """GET a URL; return the (JSON object) response body."""
+    return _exchange(
+        Request(url, headers=_headers(token), method="GET"), timeout
+    )
+
+
+__all__ = ["DEFAULT_TIMEOUT", "post_json", "get_json"]

@@ -1,0 +1,291 @@
+"""The cluster worker: register, heartbeat, drain shards, boot warm.
+
+A :class:`ClusterWorker` holds its *own* copies of the database and the
+trained model (nothing heavy ships over the wire — both sides load the
+same deterministic artifacts), binds a small HTTP endpoint::
+
+    POST /shard      run one dispatch envelope -> result envelope
+    POST /shutdown   stop serving after the current shard
+    GET  /health     liveness + shard counters
+
+and then:
+
+1. **warm boot** — ``GET {coordinator}/cache`` and load the plan-cache
+   snapshot into the process-global ``PLAN_CACHE``
+   (:meth:`~repro.matching.plan_cache.MatchPlanCache.load_snapshot`
+   drops stale content keys rather than applying them), keeping the
+   view-index snapshot for later index builds;
+2. **register** — ``POST {coordinator}/register`` with its dispatch
+   URL;
+3. **heartbeat** — a daemon thread posts a monotonically increasing
+   ``seq`` every ``heartbeat_interval`` seconds. After
+   ``max_missed_heartbeats`` consecutive failures the coordinator is
+   presumed gone and the worker shuts itself down cleanly — that is
+   the "coordinator shutdown -> workers exit" contract of
+   ``tests/test_cluster_faults.py``.
+
+Shard execution reuses the scheduling layer verbatim: a dispatch
+envelope reconstructs a :class:`~repro.runtime.plan.Shard`, a warm
+:class:`~repro.runtime.executors.WorkerState` runs it, and the shard's
+subgraphs get their own Psum tail via
+:func:`~repro.runtime.plan.assemble_views` — producing exactly the
+partial ``ViewSet`` the merge contract expects.
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from http.server import ThreadingHTTPServer
+from typing import Any, Dict, Optional
+
+from repro.config import GvexConfig
+from repro.exceptions import TransportError
+from repro.gnn.model import GnnClassifier
+from repro.graphs.database import GraphDatabase
+from repro.matching.plan_cache import PLAN_CACHE
+from repro.runtime.cluster import wire
+from repro.runtime.cluster.transport import get_json, post_json
+from repro.runtime.executors import WorkerState
+from repro.runtime.plan import Shard, assemble_views
+
+#: default seconds between heartbeats (coordinator timeout should be
+#: a comfortable multiple of this)
+DEFAULT_HEARTBEAT_INTERVAL = 2.0
+#: consecutive failed heartbeats before the worker presumes the
+#: coordinator gone and exits cleanly
+DEFAULT_MAX_MISSED = 3
+
+
+class _WorkerServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, worker: "ClusterWorker"):
+        from repro.runtime.cluster.handlers import WorkerHandler
+
+        super().__init__(address, WorkerHandler)
+        self.worker = worker
+
+    # JsonRequestHandler contract
+    @property
+    def auth_token(self) -> Optional[str]:
+        return self.worker.auth_token
+
+    @property
+    def max_body_bytes(self) -> int:
+        return self.worker.max_body_bytes
+
+
+class ClusterWorker:
+    """One member of the fleet: serve shards for one (db, model) pair."""
+
+    def __init__(
+        self,
+        db: GraphDatabase,
+        model: GnnClassifier,
+        coordinator_url: str,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        worker_id: Optional[str] = None,
+        auth_token: Optional[str] = None,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        max_missed_heartbeats: int = DEFAULT_MAX_MISSED,
+        warm_start: bool = True,
+        max_body_bytes: int = 64 << 20,
+    ) -> None:
+        self.db = db
+        self.model = model
+        self.coordinator_url = coordinator_url.rstrip("/")
+        self.worker_id = worker_id or f"worker-{uuid.uuid4().hex[:8]}"
+        self.auth_token = auth_token
+        self.heartbeat_interval = heartbeat_interval
+        self.max_missed_heartbeats = max_missed_heartbeats
+        self.warm_start = warm_start
+        self.max_body_bytes = max_body_bytes
+        self._server = _WorkerServer((host, port), self)
+        self._server_thread: Optional[threading.Thread] = None
+        self._heartbeat_thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        #: shard execution is serialized — WorkerState (and the batched
+        #: verifier scratch inside it) is warm, not thread-safe
+        self._exec_lock = threading.Lock()
+        #: worker-warm per-(method, seed, config) states across shards
+        self._states: Dict[Any, WorkerState] = {}
+        self.shards_run = 0
+        #: loaded-warm-tier statistics ({} until a snapshot is loaded)
+        self.warm_stats: Dict[str, int] = {}
+        #: view-index snapshot from the warm tier (or None)
+        self.index_snapshot: Optional[Dict[str, Any]] = None
+        #: set when the worker has shut down (tests wait on this)
+        self.stopped = threading.Event()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ClusterWorker":
+        """Serve, warm-boot, register, heartbeat — ready for dispatch."""
+        self._server_thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"{self.worker_id}-server",
+            daemon=True,
+        )
+        self._server_thread.start()
+        if self.warm_start:
+            self.load_warm_tier()
+        post_json(
+            f"{self.coordinator_url}/register",
+            wire.encode_register(self.worker_id, self.url),
+            token=self.auth_token,
+        )
+        self._heartbeat_thread = threading.Thread(
+            target=self._heartbeat_loop,
+            name=f"{self.worker_id}-heartbeat",
+            daemon=True,
+        )
+        self._heartbeat_thread.start()
+        return self
+
+    def request_stop(self) -> None:
+        """Schedule a clean shutdown (from handler threads or signals)."""
+        threading.Thread(target=self.close, daemon=True).start()
+
+    def close(self) -> None:
+        if self.stopped.is_set():
+            return
+        self.stopped.set()
+        self._server.shutdown()
+        self._server.server_close()
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Block until the worker has shut down (True if it did)."""
+        return self.stopped.wait(timeout=timeout)
+
+    def __enter__(self) -> "ClusterWorker":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # warm tier
+    # ------------------------------------------------------------------
+    def load_warm_tier(self) -> Dict[str, int]:
+        """Fetch ``GET /cache`` and load what is loadable.
+
+        A dead coordinator or an unreadable snapshot leaves the worker
+        cold but functional — warm start is an optimization, never a
+        correctness dependency.
+        """
+        try:
+            snapshot = wire.decode_cache_snapshot(
+                get_json(
+                    f"{self.coordinator_url}/cache", token=self.auth_token
+                )
+            )
+        except Exception:
+            return {}
+        stats: Dict[str, int] = {}
+        if snapshot.plan_cache is not None:
+            try:
+                stats = dict(PLAN_CACHE.load_snapshot(snapshot.plan_cache))
+            except Exception:
+                stats = {}
+        self.index_snapshot = snapshot.view_index
+        self.warm_stats = stats
+        return stats
+
+    # ------------------------------------------------------------------
+    # heartbeat
+    # ------------------------------------------------------------------
+    def _heartbeat_loop(self) -> None:
+        seq = 0
+        missed = 0
+        while not self.stopped.wait(timeout=self.heartbeat_interval):
+            try:
+                post_json(
+                    f"{self.coordinator_url}/heartbeat",
+                    wire.encode_heartbeat(self.worker_id, seq),
+                    token=self.auth_token,
+                    timeout=max(self.heartbeat_interval, 1.0),
+                )
+                missed = 0
+            except TransportError:
+                missed += 1
+                if missed >= self.max_missed_heartbeats:
+                    # coordinator gone (shut down or partitioned):
+                    # exit cleanly rather than serving a ghost fleet
+                    self.close()
+                    return
+            seq += 1
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _state_for(self, msg: wire.DispatchMessage) -> WorkerState:
+        """A warm ``WorkerState`` per (method, seed, config) triple."""
+        key = (msg.method, msg.seed, _config_key(msg.config))
+        with self._lock:
+            state = self._states.get(key)
+            if state is None:
+                state = WorkerState(
+                    model=self.model,
+                    config=msg.config,
+                    db=self.db,
+                    method=msg.method,
+                    seed=msg.seed,
+                    explainer_kwargs=dict(msg.explainer_kwargs),
+                )
+                self._states[key] = state
+            return state
+
+    def run_dispatch(self, msg: wire.DispatchMessage) -> Dict[str, Any]:
+        """One shard: run it warm, Psum its group, return the envelope."""
+        state = self._state_for(msg)
+        with self._exec_lock:
+            calls_before = state.inference_calls
+            results = state.run_shard(Shard(msg.label, msg.indices))
+            calls = state.inference_calls - calls_before
+        subgraphs = [sub for _, _, sub, _ in results if sub is not None]
+        views = assemble_views(
+            {msg.label: subgraphs}, msg.config, [msg.label]
+        )
+        with self._lock:
+            self.shards_run += 1
+        return wire.encode_result(
+            job_id=msg.job_id,
+            shard_id=msg.shard_id,
+            worker_id=self.worker_id,
+            views=views,
+            inference_calls=calls,
+        )
+
+    def health(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "worker_id": self.worker_id,
+            "coordinator": self.coordinator_url,
+            "shards_run": self.shards_run,
+            "warm": dict(self.warm_stats),
+            "plan_cache": PLAN_CACHE.stats(),
+        }
+
+
+def _config_key(config: GvexConfig) -> str:
+    """A hashable identity for a config (wire configs are canonical)."""
+    import json
+
+    return json.dumps(config.to_dict(), sort_keys=True, default=repr)
+
+
+__all__ = [
+    "ClusterWorker",
+    "DEFAULT_HEARTBEAT_INTERVAL",
+    "DEFAULT_MAX_MISSED",
+]

@@ -349,9 +349,13 @@ class ShardedExecutor(Executor):
     executor — and produces a *partial* view set with its own Psum
     tier. Partials merge by unioning subgraphs and re-summarizing over
     the union (``repro.runtime.merge``), so node coverage is preserved
-    and the pattern tier stays near-optimal. A real deployment would
-    run each replica on a different machine and ship the
-    JSON-serializable partial views to a coordinator.
+    and the pattern tier stays near-optimal. The wire-level deployment
+    of this contract — replicas on different machines shipping partial
+    views to a coordinator over HTTP, with heartbeats and shard
+    re-dispatch — is :mod:`repro.runtime.cluster`
+    (:class:`~repro.runtime.cluster.DistributedExecutor`); this class
+    remains the single-process simulation the cluster's bit-parity
+    tests compare against.
     """
 
     name = "sharded"

@@ -250,3 +250,50 @@ def test_matching_bench_smoke(tmp_path):
         assert (
             per_backend[(name, "fast")] == per_backend[(name, "reference")]
         )
+
+
+def _load_dist_cluster_bench():
+    """Import benchmarks/bench_dist_cluster.py by path (not a package)."""
+    import importlib.util
+    from pathlib import Path
+
+    path = Path(__file__).parent.parent / "benchmarks" / "bench_dist_cluster.py"
+    spec = importlib.util.spec_from_file_location("bench_dist_cluster", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.slow
+def test_dist_cluster_bench_smoke(trained_model, mutagen_db):
+    """The cluster bench's scenarios run end to end at smoke scale.
+
+    Boots real 1- and 2-worker localhost clusters plus the warm-boot
+    and straggler arms. Wall-clock speedups are runner-dependent (the
+    in-process workers share one GIL), so the lane asserts the
+    scheduler-independent contracts the bench itself enforces:
+    bit-identity to serial in every arm, zero plan builds after a
+    snapshot-warmed boot, and >= 1 re-dispatched shard with no extra
+    or lost shards under a straggler.
+    """
+    bench = _load_dist_cluster_bench()
+    config = GvexConfig(theta=0.08, radius=0.3, gamma=0.5).with_bounds(0, 6)
+
+    scaling = bench.bench_workers(
+        mutagen_db, trained_model, config, workers=(1, 2)
+    )
+    assert [row["workers"] for row in scaling["arms"]] == [1, 2]
+    assert all(row["bit_identical_to_serial"] for row in scaling["arms"])
+    assert all(
+        row["inference_calls"] == scaling["serial_inference_calls"]
+        for row in scaling["arms"]
+    )
+
+    warm = bench.bench_warm_boot(mutagen_db, trained_model, config)
+    assert warm["cold"]["plan_builds_during_run"] > 0
+    assert warm["warm"]["plan_builds_during_run"] == 0
+    assert warm["warm"]["patterns_preloaded"] > 0
+
+    redispatch = bench.bench_redispatch(mutagen_db, trained_model, config)
+    assert redispatch["straggler"]["redispatched"] >= 1
+    assert redispatch["straggler"]["shards"] == redispatch["healthy"]["shards"]

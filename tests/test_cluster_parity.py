@@ -1,0 +1,296 @@
+"""Bit-parity of the wire path against the serial reference.
+
+Three layers, increasingly physical:
+
+* **merge-over-the-wire property (hypothesis)** — random shard
+  assignments and worker counts: every shard's partial view set is
+  pushed through an actual ``result`` envelope (encode -> canonical
+  bytes -> decode) before merging, including duplicated results from a
+  simulated re-dispatch; the merge must equal ``SerialExecutor``'s
+  views bit for bit. No sockets, so this runs in the default lane and
+  covers the whole zoo.
+* **live localhost cluster** — a real coordinator + two real workers
+  over HTTP on >= 2 zoo datasets (ISSUE acceptance), plus warm-tier
+  plumbing assertions. Marked ``slow`` (CI's bench lane).
+* **warm tier** — cold vs snapshot-warmed: a warmed worker/plan-cache
+  replays a shard with *zero* plan builds (the ``plan_builds`` stats
+  hook), and snapshots with mismatched content keys or unknown schema
+  versions are dropped/rejected, never applied.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import GvexConfig
+from repro.datasets.registry import load_dataset
+from repro.exceptions import MatchingError, QueryError
+from repro.graphs.io import viewset_from_dict, viewset_to_dict
+from repro.matching.plan_cache import PLAN_CACHE
+from repro.query.index import ViewIndex
+from repro.runtime import SerialExecutor, WorkerState, build_plan
+from repro.runtime.cluster import (
+    ClusterCoordinator,
+    ClusterWorker,
+    DistributedExecutor,
+    wire,
+)
+from repro.runtime.plan import Shard, assemble_views
+from tests.test_golden_views import view_set_fingerprint
+from tests.test_runtime import limited_predicted, zoo_model
+
+AUTH = "cluster-secret"
+
+
+def shard_result_envelope(state: WorkerState, shard, shard_id, job_id="job-p"):
+    """What a worker would answer for one shard, as wire bytes."""
+    before = state.inference_calls
+    results = state.run_shard(shard)
+    views = assemble_views(
+        {shard.label: [s for _, _, s, _ in results if s is not None]},
+        state.config,
+        [shard.label],
+    )
+    envelope = wire.encode_result(
+        job_id=job_id,
+        shard_id=shard_id,
+        worker_id=f"w{shard_id % 3}",
+        views=views,
+        inference_calls=state.inference_calls - before,
+    )
+    # the actual bytes a socket would carry
+    return json.loads(wire.canonical_bytes(envelope))
+
+
+# ----------------------------------------------------------------------
+# merge-over-the-wire property (no sockets)
+# ----------------------------------------------------------------------
+@settings(max_examples=12, deadline=None)
+@given(data=st.data())
+def test_wire_merge_matches_serial(data):
+    """Random re-sharding + wire round-trip + re-dispatch == serial."""
+    from repro.runtime.merge import merge_view_sets
+
+    dataset = data.draw(
+        st.sampled_from(["ba_synthetic", "pcqm4m", "enzymes"]), label="dataset"
+    )
+    db = load_dataset(dataset, scale="test", seed=0)
+    model = zoo_model(dataset)
+    config = GvexConfig().with_bounds(0, 5)
+    predicted = limited_predicted(db, model, 3)
+    plan = build_plan(db, model, config, predicted=predicted)
+    serial, serial_stats = SerialExecutor().run(plan)
+
+    # random re-partition of each label group into 1..4 shards
+    shards = []
+    for label in plan.labels:
+        indices = plan.group_indices(label)
+        if not indices:
+            continue
+        n_chunks = data.draw(
+            st.integers(1, min(4, len(indices))), label=f"chunks-{label}"
+        )
+        bounds = sorted(
+            data.draw(
+                st.lists(
+                    st.integers(1, len(indices) - 1),
+                    min_size=n_chunks - 1,
+                    max_size=n_chunks - 1,
+                    unique=True,
+                ),
+                label=f"cuts-{label}",
+            )
+            if len(indices) > 1
+            else []
+        )
+        prev = 0
+        for cut in bounds + [len(indices)]:
+            shards.append(Shard(label, tuple(indices[prev:cut])))
+            prev = cut
+
+    state = WorkerState.from_plan(plan)
+    envelopes = [
+        shard_result_envelope(state, shard, sid)
+        for sid, shard in enumerate(shards)
+    ]
+    # induced re-dispatch: some shards answered twice (a worker died
+    # after answering late); first result wins, duplicates identical
+    dupes = data.draw(
+        st.lists(st.integers(0, max(len(envelopes) - 1, 0)), max_size=2),
+        label="dupes",
+    )
+    results = {}
+    for envelope in envelopes + [envelopes[i] for i in dupes if envelopes]:
+        msg = wire.decode_result(envelope)
+        results.setdefault(msg.shard_id, msg)
+
+    parts = [results[sid].views for sid in sorted(results)]
+    merged = merge_view_sets(parts, plan.config, labels=plan.labels)
+    assert view_set_fingerprint(merged) == view_set_fingerprint(serial)
+    calls = sum(m.inference_calls for m in results.values())
+    assert calls == serial_stats["inference_calls"]
+
+
+# ----------------------------------------------------------------------
+# live localhost cluster (slow lane)
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+@pytest.mark.parametrize("dataset", ["ba_synthetic", "pcqm4m"])
+def test_live_cluster_bit_identical_to_serial(dataset):
+    """ISSUE acceptance: 2 real workers over HTTP == SerialExecutor."""
+    db = load_dataset(dataset, scale="test", seed=0)
+    model = zoo_model(dataset)
+    config = GvexConfig().with_bounds(0, 5)
+    predicted = limited_predicted(db, model, 3)
+    plan = build_plan(db, model, config, predicted=predicted)
+    serial, serial_stats = SerialExecutor().run(plan)
+
+    with ClusterCoordinator(auth_token=AUTH) as coord:
+        with ClusterWorker(
+            db, model, coord.url, auth_token=AUTH, worker_id="w1"
+        ), ClusterWorker(
+            db, model, coord.url, auth_token=AUTH, worker_id="w2"
+        ):
+            coord.wait_for_workers(2, timeout=15)
+            views, stats = DistributedExecutor(coord).run(plan)
+
+    assert view_set_fingerprint(views) == view_set_fingerprint(serial)
+    assert stats["inference_calls"] == serial_stats["inference_calls"]
+    assert stats["redispatched"] == 0
+    assert stats["shards"] == len(plan.shards)
+
+
+@pytest.mark.slow
+def test_live_cluster_views_survive_json_roundtrip(trained_model, mutagen_db):
+    """The merged result is the same persisted artifact serial writes."""
+    config = GvexConfig(theta=0.08, radius=0.3, gamma=0.5).with_bounds(0, 6)
+    plan = build_plan(mutagen_db, trained_model, config)
+    serial, _ = SerialExecutor().run(plan)
+    with ClusterCoordinator(auth_token=AUTH) as coord:
+        with ClusterWorker(mutagen_db, trained_model, coord.url, auth_token=AUTH):
+            coord.wait_for_workers(1, timeout=15)
+            views, _ = coord.run(plan)
+    reloaded = viewset_from_dict(viewset_to_dict(views))
+    assert view_set_fingerprint(reloaded) == view_set_fingerprint(serial)
+
+
+# ----------------------------------------------------------------------
+# warm tier: snapshots
+# ----------------------------------------------------------------------
+class TestPlanCacheSnapshot:
+    def _warm_state(self, trained_model, mutagen_db):
+        config = GvexConfig(theta=0.08, radius=0.3, gamma=0.5).with_bounds(0, 6)
+        plan = build_plan(mutagen_db, trained_model, config)
+        SerialExecutor().run(plan)  # populates PLAN_CACHE
+        return plan
+
+    def test_warmed_run_records_zero_plan_builds(
+        self, trained_model, mutagen_db
+    ):
+        """Cold run builds plans; a snapshot-warmed run builds none."""
+        PLAN_CACHE.clear()
+        plan = self._warm_state(trained_model, mutagen_db)
+        cold_builds = PLAN_CACHE.plan_builds
+        assert cold_builds > 0
+        snapshot = PLAN_CACHE.export_snapshot()
+
+        # fresh process simulation: wipe, load the snapshot, re-run
+        PLAN_CACHE.clear()
+        PLAN_CACHE.load_snapshot(snapshot)
+        builds_after_load = PLAN_CACHE.plan_builds
+        SerialExecutor().run(plan)
+        assert PLAN_CACHE.plan_builds == builds_after_load, (
+            "snapshot-warmed run rebuilt match plans"
+        )
+
+    def test_mismatched_content_key_dropped_not_applied(
+        self, trained_model, mutagen_db
+    ):
+        PLAN_CACHE.clear()
+        self._warm_state(trained_model, mutagen_db)
+        snapshot = PLAN_CACHE.export_snapshot()
+        assert snapshot["patterns"]
+        # corrupt one pattern's stored graph: its recomputed content
+        # key no longer matches the key it is filed under
+        victim = next(iter(snapshot["patterns"]))
+        other = json.loads(json.dumps(snapshot["patterns"][victim]))
+        other["node_types"] = [t + 1 for t in other["node_types"]]
+        snapshot["patterns"][victim] = other
+
+        PLAN_CACHE.clear()
+        report = PLAN_CACHE.load_snapshot(snapshot)
+        assert report["patterns"] == len(snapshot["patterns"]) - 1
+        assert report["dropped"] > 0
+
+    def test_unknown_snapshot_schema_rejected(self):
+        with pytest.raises(MatchingError):
+            PLAN_CACHE.load_snapshot({"schema": 999, "patterns": {}})
+        with pytest.raises(MatchingError):
+            PLAN_CACHE.load_snapshot("not a dict")
+
+    def test_snapshot_is_pure_json(self, trained_model, mutagen_db):
+        PLAN_CACHE.clear()
+        self._warm_state(trained_model, mutagen_db)
+        snapshot = PLAN_CACHE.export_snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+
+class TestViewIndexSnapshot:
+    def _views(self, trained_model, mutagen_db):
+        config = GvexConfig(theta=0.08, radius=0.3, gamma=0.5).with_bounds(0, 6)
+        plan = build_plan(mutagen_db, trained_model, config)
+        views, _ = SerialExecutor().run(plan)
+        return views
+
+    def test_snapshot_prefills_match_cache(self, trained_model, mutagen_db):
+        views = self._views(trained_model, mutagen_db)
+        cold = ViewIndex(views, mutagen_db)
+        snapshot = cold.export_snapshot()
+        assert snapshot["matches"]
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        warmed = ViewIndex(views, mutagen_db, snapshot=snapshot)
+        assert warmed._match_cache == cold._match_cache
+
+    def test_unknown_schema_rejected(self, trained_model, mutagen_db):
+        views = self._views(trained_model, mutagen_db)
+        with pytest.raises(QueryError):
+            ViewIndex(views, mutagen_db, snapshot={"schema": 0})
+
+    def test_stale_pattern_dropped(self, trained_model, mutagen_db):
+        views = self._views(trained_model, mutagen_db)
+        cold = ViewIndex(views, mutagen_db)
+        snapshot = cold.export_snapshot()
+        # corrupt every pattern: nothing should load, nothing should crash
+        for content in list(snapshot["patterns"]):
+            graph = snapshot["patterns"][content]
+            graph["node_types"] = [t + 1 for t in graph["node_types"]]
+        loaded = ViewIndex(views, mutagen_db).warm_matches(snapshot)
+        assert loaded == 0
+
+
+@pytest.mark.slow
+def test_worker_boots_warm_from_coordinator(trained_model, mutagen_db):
+    """GET /cache ships the coordinator's plan-cache + index state."""
+    config = GvexConfig(theta=0.08, radius=0.3, gamma=0.5).with_bounds(0, 6)
+    plan = build_plan(mutagen_db, trained_model, config)
+    PLAN_CACHE.clear()
+    views, _ = SerialExecutor().run(plan)  # coordinator-side warm state
+    index_snapshot = ViewIndex(views, mutagen_db).export_snapshot()
+
+    with ClusterCoordinator(auth_token=AUTH) as coord:
+        coord.publish_index_snapshot(index_snapshot)
+        with ClusterWorker(
+            mutagen_db, trained_model, coord.url, auth_token=AUTH
+        ) as worker:
+            coord.wait_for_workers(1, timeout=15)
+            assert worker.warm_stats.get("patterns", 0) > 0
+            assert worker.index_snapshot == index_snapshot
+            # the warmed plan cache replays the job with zero builds
+            builds = PLAN_CACHE.plan_builds
+            dist, _ = coord.run(plan)
+    assert PLAN_CACHE.plan_builds == builds
+    assert view_set_fingerprint(dist) == view_set_fingerprint(views)

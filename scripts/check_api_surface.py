@@ -1,6 +1,6 @@
 #!/usr/bin/env python
 """Public-API snapshot check for ``repro.api``/``repro.runtime``/
-``repro.runtime.cluster``/``repro.matching``.
+``repro.runtime.cluster``/``repro.matching``/``repro.analysis``.
 
 Compares the symbols exported by the supported surfaces (their
 ``__all__``) against the committed manifest
@@ -13,8 +13,10 @@ deprecation (docs/api.md) — fails the CI docs lane::
 
 ``repro.api`` symbols appear bare; ``repro.runtime`` symbols are
 prefixed ``runtime.`` (the execution engine is its own supported
-surface, see docs/runtime.md) and ``repro.matching`` symbols
-``matching.`` (the pattern-matching tier, see docs/matching.md).
+surface, see docs/runtime.md), ``repro.matching`` symbols
+``matching.`` (the pattern-matching tier, see docs/matching.md), and
+``repro.analysis`` symbols ``analysis.`` (the invariant linter, see
+docs/analysis.md).
 Exports are read by importing the
 modules when the runtime dependencies (numpy) are available, and by
 statically parsing each package ``__init__.py`` otherwise, so the
@@ -43,6 +45,11 @@ SURFACES = [
         "repro.matching",
         REPO / "src" / "repro" / "matching" / "__init__.py",
         "matching.",
+    ),
+    (
+        "repro.analysis",
+        REPO / "src" / "repro" / "analysis" / "__init__.py",
+        "analysis.",
     ),
 ]
 
@@ -105,8 +112,9 @@ def main(argv: "list[str]" = sys.argv[1:]) -> int:
     if "--update" in argv:
         MANIFEST.write_text(
             "# Snapshot of the supported public surfaces: repro.api.__all__\n"
-            "# (bare names), repro.runtime.__all__ ('runtime.' prefix), and\n"
-            "# repro.matching.__all__ ('matching.' prefix).\n"
+            "# (bare names), repro.runtime.__all__ ('runtime.' prefix),\n"
+            "# repro.matching.__all__ ('matching.' prefix), and\n"
+            "# repro.analysis.__all__ ('analysis.' prefix).\n"
             "# Regenerate with: python scripts/check_api_surface.py --update\n"
             "# Changing this file is an API change; see docs/api.md.\n"
             + "\n".join(actual)

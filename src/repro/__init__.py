@@ -42,7 +42,9 @@ def __getattr__(name: str):
         from repro import api
 
         return getattr(api, name)
-    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    raise AttributeError(  # repro: noqa[REPRO402] - __getattr__ protocol
+        f"module 'repro' has no attribute {name!r}"
+    )
 
 
 def __dir__():

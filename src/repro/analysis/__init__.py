@@ -1,0 +1,71 @@
+"""``repro.analysis`` — the AST-based invariant linter.
+
+A plugin-based static-analysis framework over stdlib :mod:`ast` that
+enforces the codebase's runtime contracts at lint time: lock
+discipline (``REPRO1xx``), fork/worker-process safety (``REPRO2xx``),
+deterministic enumeration (``REPRO3xx``), and the typed-exception /
+versioned-wire policy (``REPRO4xx``). ``python -m repro.cli lint``
+runs it; docs/analysis.md is the invariant catalogue and authoring
+guide.
+
+The package deliberately imports nothing outside the standard library
+and :mod:`repro.exceptions`, so it runs in the dependency-free docs
+lane and never executes the code it analyzes.
+"""
+
+from repro.analysis.base import (
+    Checker,
+    all_checkers,
+    checker_names,
+    register_checker,
+)
+from repro.analysis.determinism import DEFAULT_HOT_PACKAGES, DeterminismChecker
+from repro.analysis.findings import CODES, Finding
+from repro.analysis.forksafety import DEFAULT_WORKER_ROOTS, ForkSafetyChecker
+from repro.analysis.locks import LockDisciplineChecker
+from repro.analysis.model import (
+    ClassInfo,
+    GlobalInfo,
+    LockDecl,
+    ModuleInfo,
+    ProjectModel,
+)
+from repro.analysis.policy import (
+    FLAGGED_BUILTINS,
+    ExceptionPolicyChecker,
+    WirePolicyChecker,
+)
+from repro.analysis.runner import (
+    REPORT_SCHEMA_VERSION,
+    AnalysisReport,
+    format_baseline,
+    load_baseline,
+    run_analysis,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "CODES",
+    "Checker",
+    "ClassInfo",
+    "DEFAULT_HOT_PACKAGES",
+    "DEFAULT_WORKER_ROOTS",
+    "DeterminismChecker",
+    "ExceptionPolicyChecker",
+    "FLAGGED_BUILTINS",
+    "Finding",
+    "ForkSafetyChecker",
+    "GlobalInfo",
+    "LockDecl",
+    "LockDisciplineChecker",
+    "ModuleInfo",
+    "ProjectModel",
+    "REPORT_SCHEMA_VERSION",
+    "WirePolicyChecker",
+    "all_checkers",
+    "checker_names",
+    "format_baseline",
+    "load_baseline",
+    "register_checker",
+    "run_analysis",
+]

@@ -1,0 +1,63 @@
+"""The ``Checker`` protocol and the checker registry.
+
+A checker is a small object with a ``name``, the ``codes`` it can
+emit, and one method::
+
+    def check(self, project: ProjectModel) -> Iterable[Finding]: ...
+
+Checkers are registered at import time with :func:`register_checker`
+and instantiated fresh per run by :func:`all_checkers` — they hold no
+cross-run state, so one :class:`~repro.analysis.model.ProjectModel`
+can be analyzed repeatedly (the fixture suite does). Writing a new
+checker is documented in docs/analysis.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Protocol, Type
+
+from repro.analysis.findings import Finding
+from repro.analysis.model import ProjectModel
+from repro.exceptions import AnalysisError
+
+
+class Checker(Protocol):
+    """What the runner requires of every checker."""
+
+    #: short stable name used in reports and ``Finding.checker``
+    name: str
+    #: the REPROxxx codes this checker can emit
+    codes: Iterable[str]
+
+    def check(self, project: ProjectModel) -> Iterable[Finding]:
+        """Yield findings over the parsed project."""
+        ...  # pragma: no cover - protocol
+
+
+_REGISTRY: Dict[str, Type] = {}
+
+
+def register_checker(cls: Type) -> Type:
+    """Class decorator: add a checker class to the default set."""
+    name = getattr(cls, "name", None)
+    if not name:
+        raise AnalysisError(f"checker {cls!r} declares no name")
+    if name in _REGISTRY and _REGISTRY[name] is not cls:
+        raise AnalysisError(f"duplicate checker name {name!r}")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def checker_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def all_checkers() -> List[Checker]:
+    """Fresh default-configured instances of every registered checker."""
+    # import for side effects: each module registers its checker class
+    from repro.analysis import determinism, forksafety, locks, policy  # noqa: F401
+
+    return [_REGISTRY[name]() for name in sorted(_REGISTRY)]
+
+
+__all__ = ["Checker", "register_checker", "all_checkers", "checker_names"]

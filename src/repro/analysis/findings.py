@@ -1,0 +1,108 @@
+"""Finding objects and the ``REPROxxx`` code catalogue.
+
+Every checker emits :class:`Finding`s carrying a stable code from
+:data:`CODES`. Codes are grouped by the runtime contract they protect
+(docs/analysis.md has the full invariant catalogue):
+
+``REPRO1xx``  lock discipline (docs/runtime.md concurrency contracts)
+``REPRO2xx``  fork / worker-process safety (fork-safe ``PLAN_CACHE``)
+``REPRO3xx``  determinism (bit-identical ``ViewSet`` parity)
+``REPRO4xx``  exception & wire policy (typed ``repro.exceptions``,
+              versioned ``cluster/wire.py`` schema)
+
+A finding's :attr:`Finding.identity` — ``path::CODE::symbol`` — is its
+stable name in ``scripts/analysis_baseline.txt``: ``symbol`` is a
+structural anchor (class/function/attribute names), not a line number,
+so baselines survive unrelated edits to the same file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+#: code -> (title, one-line invariant it protects)
+CODES: Dict[str, str] = {
+    "REPRO101": (
+        "attribute mutated both inside and outside the declaring "
+        "class's lock"
+    ),
+    "REPRO102": (
+        "nested lock acquisition that can deadlock (same non-reentrant "
+        "lock re-entered, or a cycle in the cross-lock acquisition order)"
+    ),
+    "REPRO201": (
+        "module-level mutable global mutated on a fork/worker-reachable "
+        "code path without a fork-safe guard"
+    ),
+    "REPRO202": (
+        "lock-holding module-level singleton without an os.register_at_fork "
+        "reinitialization hook"
+    ),
+    "REPRO301": (
+        "unordered set iteration feeding ordered accumulation in a "
+        "determinism-critical package"
+    ),
+    "REPRO302": (
+        "unseeded process-global randomness (random.*/np.random.*) "
+        "instead of a seeded Generator"
+    ),
+    "REPRO303": (
+        "identity- or wall-clock-dependent value (id(), time.time()) "
+        "used in a cache key or sort key"
+    ),
+    "REPRO401": (
+        "bare or broad exception handler that swallows the error "
+        "(no raise on the handler path)"
+    ),
+    "REPRO402": (
+        "raise of a builtin exception where a typed repro.exceptions "
+        "error is the documented contract"
+    ),
+    "REPRO403": (
+        "cluster wire message type without complete encode/decode/golden "
+        "coverage"
+    ),
+}
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One invariant violation at one source location.
+
+    Sort order is (path, line, code) so reports are deterministic.
+    ``symbol`` anchors the finding structurally for baseline matching;
+    ``message`` is the human explanation.
+    """
+
+    path: str  # posix path relative to the analysis root's parent
+    line: int
+    code: str
+    symbol: str = field(compare=False)
+    message: str = field(compare=False)
+    checker: str = field(compare=False, default="")
+    #: line of the enclosing ``def`` (0 = none); a ``# repro: noqa``
+    #: placed there suppresses the code for the whole function
+    scope_line: int = field(compare=False, default=0)
+
+    @property
+    def identity(self) -> str:
+        """The baseline key: stable across unrelated line drift."""
+        return f"{self.path}::{self.code}::{self.symbol}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "code": self.code,
+            "symbol": self.symbol,
+            "message": self.message,
+            "checker": self.checker,
+            "identity": self.identity,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+__all__ = ["Finding", "CODES"]

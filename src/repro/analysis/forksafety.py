@@ -1,0 +1,237 @@
+"""Fork / worker-process safety checker (``REPRO2xx``).
+
+The fork-pool and cluster workers (``runtime/executors.py``,
+``runtime/cluster/worker.py``) fork or run library code in
+long-lived worker processes. Module-level mutable state crossing that
+boundary is the classic source of silent parity breaks: a forked
+child inherits a snapshot (possibly mid-mutation, possibly with a
+held lock), and divergent per-process caches can change enumeration
+behavior. The codebase's sanctioned pattern is the fork-safe
+``PLAN_CACHE``: a lock-guarded singleton whose module registers an
+``os.register_at_fork`` hook to reinitialize it in the child
+(docs/matching.md).
+
+``REPRO201`` — a module-level mutable container (dict/list/set
+literal or constructor) defined in a module reachable from the
+fork/worker entry points is *mutated* by code in that module
+(subscript assignment, ``global`` rebinding, or an in-place mutator
+call). Read-only tables are fine; mutation is what diverges across
+processes.
+
+``REPRO202`` — a module-level singleton of a lock-declaring class,
+in a worker-reachable module, whose defining module never calls
+``os.register_at_fork``: the forked child can inherit a held lock and
+deadlock, or inherit torn state. ``PLAN_CACHE`` is the compliant
+exemplar.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.analysis.base import register_checker
+from repro.analysis.findings import Finding
+from repro.analysis.locks import MUTATOR_METHODS
+from repro.analysis.model import ModuleInfo, ProjectModel, _attr_chain
+
+#: default fork/worker entry modules (relname suffixes)
+DEFAULT_WORKER_ROOTS: Tuple[str, ...] = (
+    "runtime.executors",
+    "runtime.cluster.worker",
+)
+
+
+@register_checker
+class ForkSafetyChecker:
+    """REPRO201 mutable-global mutation + REPRO202 missing at-fork hook."""
+
+    name = "forksafety"
+    codes = ("REPRO201", "REPRO202")
+
+    def __init__(
+        self, worker_roots: Sequence[str] = DEFAULT_WORKER_ROOTS
+    ) -> None:
+        self.worker_roots = tuple(worker_roots)
+
+    def check(self, project: ProjectModel) -> Iterable[Finding]:
+        reachable = project.reachable_from(self.worker_roots)
+        findings: List[Finding] = []
+        for relname in sorted(reachable):
+            info = project.modules[relname]
+            findings.extend(self._check_module(project, info))
+        return sorted(set(findings))
+
+    # ------------------------------------------------------------------
+    def _check_module(
+        self, project: ProjectModel, info: ModuleInfo
+    ) -> List[Finding]:
+        out: List[Finding] = []
+        mutable_names = {
+            name
+            for name, g in info.globals.items()
+            if g.is_mutable_container
+        }
+        at_fork_registered = self._at_fork_names(info)
+        # REPRO202: lock-holding singletons need an at-fork hook
+        for name, g in info.globals.items():
+            if g.class_name is None:
+                continue
+            declaring = [
+                cls
+                for cls in project.resolve_class(g.class_name)
+                if cls.locks or cls.conditions
+            ]
+            if not declaring:
+                continue
+            if name not in at_fork_registered:
+                out.append(
+                    Finding(
+                        path=info.display_path,
+                        line=g.line,
+                        code="REPRO202",
+                        symbol=f"{info.relname}.{name}",
+                        message=(
+                            f"module-level singleton '{name}' of "
+                            f"lock-declaring class '{g.class_name}' is "
+                            f"reachable from fork/worker code but its "
+                            f"module registers no os.register_at_fork "
+                            f"reinitialization hook"
+                        ),
+                        checker=self.name,
+                    )
+                )
+        if not mutable_names:
+            return out
+        # REPRO201: mutation sites of module-level mutable containers,
+        # attributed to their innermost enclosing function
+        self._visit_scope(
+            info, info.tree.body, mutable_names, 0, "<module>", out
+        )
+        return out
+
+    def _visit_scope(
+        self,
+        info: ModuleInfo,
+        body: List[ast.stmt],
+        mutable_names: Set[str],
+        scope_line: int,
+        qual: str,
+        out: List[Finding],
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._visit_scope(
+                    info, stmt.body, mutable_names, stmt.lineno,
+                    stmt.name, out,
+                )
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                self._visit_scope(
+                    info, stmt.body, mutable_names, scope_line, qual, out
+                )
+                continue
+            for node in ast.walk(stmt):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    # only reachable via expression-nested defs; the
+                    # statement-level cases recursed above
+                    continue
+                out.extend(
+                    self._mutations_in(
+                        info, node, mutable_names, scope_line, qual
+                    )
+                )
+
+    @staticmethod
+    def _at_fork_names(info: ModuleInfo) -> Set[str]:
+        """Global names referenced in ``os.register_at_fork(...)`` calls."""
+        names: Set[str] = set()
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if chain is None or chain[-1] != "register_at_fork":
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                for sub in ast.walk(arg):
+                    if isinstance(sub, ast.Name):
+                        names.add(sub.id)
+                    elif isinstance(sub, ast.Attribute):
+                        sub_chain = _attr_chain(sub)
+                        if sub_chain:
+                            names.add(sub_chain[0])
+        return names
+
+    def _mutations_in(
+        self,
+        info: ModuleInfo,
+        node: ast.AST,
+        mutable_names: Set[str],
+        scope_line: int,
+        qual: str,
+    ) -> List[Finding]:
+        out: List[Finding] = []
+
+        def emit(name: str, line: int, how: str) -> None:
+            out.append(
+                Finding(
+                    path=info.display_path,
+                    line=line,
+                    code="REPRO201",
+                    symbol=f"{qual}.{name}",
+                    message=(
+                        f"module-level mutable global '{name}' is "
+                        f"{how} in '{qual}', which runs on a "
+                        f"fork/worker-reachable path; route through a "
+                        f"fork-safe guarded API (see PLAN_CACHE) or "
+                        f"justify with a noqa/baseline entry"
+                    ),
+                    checker=self.name,
+                    scope_line=scope_line,
+                )
+            )
+
+        if isinstance(node, ast.Global):
+            for name in node.names:
+                if name in mutable_names:
+                    emit(name, node.lineno, "rebound via 'global'")
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                base = target
+                if isinstance(base, ast.Subscript):
+                    base = base.value
+                if isinstance(base, ast.Name) and base.id in mutable_names:
+                    if isinstance(target, ast.Subscript):
+                        emit(base.id, node.lineno, "written by subscript")
+                    # plain module-level re-assignment is the definition
+                    # itself; function-level shadowing without ``global``
+                    # creates a local and is not a mutation
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                base = target
+                if isinstance(base, ast.Subscript):
+                    base = base.value
+                if isinstance(base, ast.Name) and base.id in mutable_names:
+                    emit(base.id, node.lineno, "deleted from")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in MUTATOR_METHODS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in mutable_names
+            ):
+                emit(
+                    func.value.id,
+                    node.lineno,
+                    f"mutated in place via .{func.attr}()",
+                )
+        return out
+
+
+__all__ = ["ForkSafetyChecker", "DEFAULT_WORKER_ROOTS"]

@@ -1,0 +1,208 @@
+"""The analysis runner: checkers x project -> report, with two
+suppression layers.
+
+1. **Inline** — ``# repro: noqa[REPRO101]`` (or bare ``# repro:
+   noqa``) on the finding's line, or on the enclosing ``def`` line to
+   cover a whole function. Use for sites whose justification belongs
+   next to the code (``_reinit_after_fork`` runs lock-free *by
+   design*).
+2. **Baseline** — ``scripts/analysis_baseline.txt`` entries of the
+   form ``path::CODE::symbol  # one-line justification``. Use for
+   accepted debt and intentional exemptions reviewed in one place.
+   Entries that no longer match any finding are *stale* and reported
+   so the file never rots.
+
+Exit-code contract (``repro.cli lint``): **0** — no unsuppressed
+findings; **1** — at least one unsuppressed finding; **2** — the
+analysis itself failed (unparseable tree, bad baseline...). Baselined
+and noqa'd findings never fail the run; stale baseline entries are
+surfaced in the report but do not fail it either (they fail the
+fixture suite instead, keeping lint usable mid-refactor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.base import Checker, all_checkers
+from repro.analysis.findings import CODES, Finding
+from repro.analysis.model import ProjectModel
+from repro.exceptions import AnalysisError
+
+#: report format version for the JSON output
+REPORT_SCHEMA_VERSION = 1
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analysis run produced."""
+
+    root: str
+    findings: List[Finding] = field(default_factory=list)  # unsuppressed
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)  # inline noqa
+    stale_baseline: List[str] = field(default_factory=list)
+    checkers: List[str] = field(default_factory=list)
+    modules: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": REPORT_SCHEMA_VERSION,
+            "root": self.root,
+            "ok": self.ok,
+            "modules": self.modules,
+            "checkers": self.checkers,
+            "codes": dict(sorted(CODES.items())),
+            "counts": {
+                "findings": len(self.findings),
+                "baselined": len(self.baselined),
+                "suppressed": len(self.suppressed),
+                "stale_baseline": len(self.stale_baseline),
+            },
+            "findings": [f.to_dict() for f in self.findings],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "stale_baseline": list(self.stale_baseline),
+        }
+
+    def render_text(self) -> str:
+        lines: List[str] = []
+        for finding in self.findings:
+            lines.append(finding.render())
+        if self.stale_baseline:
+            lines.append("")
+            lines.append(
+                f"warning: {len(self.stale_baseline)} stale baseline "
+                f"entr{'y' if len(self.stale_baseline) == 1 else 'ies'} "
+                f"(matched no finding):"
+            )
+            for identity in self.stale_baseline:
+                lines.append(f"  {identity}")
+        lines.append("")
+        verdict = "clean" if self.ok else "FAILED"
+        lines.append(
+            f"repro lint: {verdict} — {len(self.findings)} finding(s), "
+            f"{len(self.baselined)} baselined, "
+            f"{len(self.suppressed)} suppressed inline, "
+            f"{self.modules} module(s), "
+            f"checkers: {', '.join(self.checkers)}"
+        )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# baseline file
+# ----------------------------------------------------------------------
+def load_baseline(path: Path) -> Dict[str, str]:
+    """``identity -> justification`` from a baseline file."""
+    entries: Dict[str, str] = {}
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise AnalysisError(f"cannot read baseline {path}: {exc}") from exc
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        identity, _, justification = line.partition("#")
+        identity = identity.strip()
+        if identity.count("::") != 2:
+            raise AnalysisError(
+                f"{path}:{lineno}: baseline entries are "
+                f"'path::CODE::symbol  # justification', got {line!r}"
+            )
+        entries[identity] = justification.strip()
+    return entries
+
+
+def format_baseline(findings: Iterable[Finding]) -> str:
+    """Render findings as a fresh baseline file (one entry per identity)."""
+    header = (
+        "# repro.analysis baseline — accepted findings, one per line:\n"
+        "#   path::CODE::symbol  # one-line justification\n"
+        "# Regenerate candidates with: python -m repro.cli lint "
+        "--write-baseline\n"
+        "# Every entry needs a justification; stale entries are reported\n"
+        "# by the runner and rejected by tests/test_analysis.py.\n"
+    )
+    seen: Dict[str, Finding] = {}
+    for finding in sorted(findings):
+        seen.setdefault(finding.identity, finding)
+    body = "".join(
+        f"{identity}  # TODO: justify\n" for identity in sorted(seen)
+    )
+    return header + body
+
+
+# ----------------------------------------------------------------------
+# the run
+# ----------------------------------------------------------------------
+def run_analysis(
+    root: Path,
+    checkers: Optional[Sequence[Checker]] = None,
+    baseline: Optional[Path] = None,
+    package: Optional[str] = None,
+) -> AnalysisReport:
+    """Parse ``root`` once, run every checker, fold in suppressions."""
+    project = ProjectModel(root, package=package)
+    active = list(checkers) if checkers is not None else all_checkers()
+    raw: List[Finding] = []
+    for checker in active:
+        raw.extend(checker.check(project))
+    raw = sorted(set(raw))
+
+    baseline_entries: Dict[str, str] = {}
+    if baseline is not None:
+        baseline_entries = load_baseline(baseline)
+
+    report = AnalysisReport(
+        root=str(project.root),
+        checkers=[c.name for c in active],
+        modules=len(project.modules),
+    )
+    matched: set = set()
+    for finding in raw:
+        if _noqa_hit(project, finding):
+            report.suppressed.append(finding)
+        elif finding.identity in baseline_entries:
+            matched.add(finding.identity)
+            report.baselined.append(finding)
+        else:
+            report.findings.append(finding)
+    report.stale_baseline = sorted(set(baseline_entries) - matched)
+    return report
+
+
+def _noqa_hit(project: ProjectModel, finding: Finding) -> bool:
+    """True if an inline noqa covers this finding."""
+    for info in project.modules.values():
+        if info.display_path == finding.path:
+            break
+    else:
+        return False
+    for line in (finding.line, finding.scope_line):
+        if not line:
+            continue
+        codes = info.suppressed_codes(line)
+        if codes is not None and (not codes or finding.code in codes):
+            return True
+    return False
+
+
+__all__ = [
+    "AnalysisReport",
+    "run_analysis",
+    "load_baseline",
+    "format_baseline",
+    "REPORT_SCHEMA_VERSION",
+]

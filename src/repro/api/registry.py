@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple, Type
 
 from repro.config import GvexConfig
-from repro.exceptions import RegistryError, TenantError
+from repro.exceptions import RegistryError, TenantError, ValidationError
 from repro.runtime.workqueue import DEFAULT_TENANT
 from repro.explainers import (
     ApproxGvexExplainer,
@@ -321,7 +321,7 @@ class TenantRegistry:
 
     def __init__(self, max_residents: int = 4):
         if max_residents < 1:
-            raise ValueError(
+            raise ValidationError(
                 f"max_residents must be >= 1, got {max_residents}"
             )
         self.max_residents = max_residents

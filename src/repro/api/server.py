@@ -54,9 +54,11 @@ from repro.api.service import ExplanationService, pattern_from_spec
 from repro.config import GvexConfig
 from repro.exceptions import (
     ConfigurationError,
+    InvalidTypeError,
     QueueFullError,
     ReproError,
     TenantError,
+    ValidationError,
     WorkerCrashError,
 )
 from repro.graphs.io import viewset_to_dict
@@ -194,7 +196,7 @@ def serve(
         server.server_close()
 
 
-class _PayloadTooLarge(ValueError):
+class _PayloadTooLarge(ValidationError):
     """Request body exceeds the server's ``max_body_bytes`` (413)."""
 
 
@@ -234,7 +236,7 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
         raw = self.rfile.read(length)
         data = json.loads(raw.decode("utf-8"))
         if not isinstance(data, dict):
-            raise ValueError("request body must be a JSON object")
+            raise ValidationError("request body must be a JSON object")
         return data
 
     def _json(self, status: int, payload: Dict[str, Any]) -> None:
@@ -290,7 +292,7 @@ class _Handler(JsonRequestHandler):
             self._error(404, str(exc))
         except ReproError as exc:
             self._error(400, str(exc))
-        except Exception as exc:  # pragma: no cover - defensive
+        except Exception as exc:  # repro: noqa[REPRO401] - HTTP boundary -> 500
             self._error(500, f"{type(exc).__name__}: {exc}")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
@@ -339,7 +341,7 @@ class _Handler(JsonRequestHandler):
             self._error(500, str(exc))
         except (ReproError, KeyError, ValueError, TypeError) as exc:
             self._error(400, f"{type(exc).__name__}: {exc}")
-        except Exception as exc:
+        except Exception as exc:  # repro: noqa[REPRO401] - HTTP boundary -> 500
             self._error(500, f"{type(exc).__name__}: {exc}")
 
     # ------------------------------------------------------------------
@@ -347,7 +349,7 @@ class _Handler(JsonRequestHandler):
         """Resolve a request's tenant field against the server default."""
         if requested is not None:
             if not isinstance(requested, str):
-                raise TypeError("tenant must be a string")
+                raise InvalidTypeError("tenant must be a string")
             return requested
         if self.server.default_tenant is None:
             raise TenantError(

@@ -295,6 +295,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the GET /cache warm boot (cold plan cache)",
     )
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the repro.analysis invariant linter "
+        "(lock discipline, fork safety, determinism, exception/wire "
+        "policy; see docs/analysis.md)",
+    )
+    p_lint.add_argument(
+        "--root",
+        default=None,
+        help="package directory to analyze (default: the installed "
+        "repro package)",
+    )
+    p_lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format on stdout",
+    )
+    p_lint.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file of accepted findings (default: "
+        "scripts/analysis_baseline.txt next to the analyzed tree, "
+        "when present)",
+    )
+    p_lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    p_lint.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        default=None,
+        help="write the current unsuppressed findings as baseline "
+        "candidates to PATH (justifications left as TODO) and exit 0",
+    )
+    p_lint.add_argument(
+        "--out",
+        default=None,
+        help="also write the report (in --format) to this path",
+    )
+
     return parser
 
 
@@ -356,8 +397,56 @@ def _attach_model(svc: ExplanationService, args, epochs: int = 150) -> None:
         )
 
 
+def _run_lint(args) -> int:
+    """``repro lint``: exit 0 clean, 1 findings, 2 analysis failure."""
+    import repro
+    from repro.analysis import format_baseline, run_analysis
+    from repro.exceptions import AnalysisError
+
+    root = Path(args.root) if args.root else Path(repro.__file__).parent
+    try:
+        if args.write_baseline:
+            report = run_analysis(root)
+            Path(args.write_baseline).write_text(
+                format_baseline(report.findings)
+            )
+            print(
+                f"wrote {len({f.identity for f in report.findings})} "
+                f"baseline candidate(s) to {args.write_baseline}"
+            )
+            return 0
+        baseline: Optional[Path] = None
+        if args.baseline:
+            baseline = Path(args.baseline)
+            if not baseline.is_file():
+                raise AnalysisError(f"baseline file not found: {baseline}")
+        elif not args.no_baseline:
+            # <repo>/src/repro -> <repo>/scripts/analysis_baseline.txt
+            default = (
+                root.parent.parent / "scripts" / "analysis_baseline.txt"
+            )
+            if default.is_file():
+                baseline = default
+        report = run_analysis(root, baseline=baseline)
+    except AnalysisError as exc:
+        print(f"repro lint: error: {exc}", file=sys.stderr)
+        return 2
+    rendered = (
+        json.dumps(report.to_dict(), indent=2)
+        if args.format == "json"
+        else report.render_text()
+    )
+    print(rendered)
+    if args.out:
+        Path(args.out).write_text(rendered + "\n")
+    return report.exit_code
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+
+    if args.command == "lint":
+        return _run_lint(args)
 
     if args.command == "capabilities":
         print(capability_table())

@@ -293,7 +293,8 @@ def _pattern_novelty(
         for m in mine_patterns([sel_sub], max_size=3, backend=backend)
     ]
     known.extend(
-        Pattern.singleton(int(t)) for t in set(graph.node_types.tolist())
+        Pattern.singleton(int(t))
+        for t in sorted(set(graph.node_types.tolist()))
     )
     out: Dict[int, bool] = {}
     for v in pool:

@@ -22,6 +22,7 @@ from repro.core.diversity import diversity_balls
 from repro.core.influence import influence_relation
 from repro.gnn.model import GnnClassifier
 from repro.graphs.graph import Graph
+from repro.exceptions import ValidationError
 
 
 @dataclass
@@ -73,7 +74,7 @@ class ExplainabilityOracle:
         """
         n = graph.n_nodes
         if influence.shape != (n, n) or diversity.shape != (n, n):
-            raise ValueError(
+            raise ValidationError(
                 f"relations must be ({n}, {n}); got {influence.shape} "
                 f"and {diversity.shape}"
             )

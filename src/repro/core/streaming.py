@@ -50,6 +50,7 @@ from repro.graphs.view import ExplanationSubgraph, ExplanationView, ViewSet
 from repro.mining.mdl import MinedPattern
 from repro.mining.pgen import mine_incremental, mine_patterns
 from repro.utils.rng import RngLike, ensure_rng
+from repro.exceptions import MissingKeyError, ValidationError
 
 
 @dataclass(frozen=True)
@@ -129,7 +130,7 @@ class StreamGvex:
             return StreamResult(subgraph=None)
         stream = list(order) if order is not None else list(graph.nodes())
         if sorted(stream) != list(graph.nodes()):
-            raise ValueError("order must be a permutation of the graph's nodes")
+            raise ValidationError("order must be a permutation of the graph's nodes")
 
         start = time.perf_counter()
         config = self.config
@@ -436,7 +437,7 @@ def _global_of(to_local: Dict[int, int], local: int) -> int:
     for g, l in to_local.items():
         if l == local:
             return g
-    raise KeyError(local)
+    raise MissingKeyError(local)
 
 
 __all__ = ["StreamGvex", "StreamResult", "AnytimeSnapshot"]

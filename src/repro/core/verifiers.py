@@ -28,6 +28,7 @@ from repro.gnn.model import GnnClassifier
 from repro.graphs.graph import Graph
 from repro.graphs.view import ExplanationView
 from repro.matching.coverage import CoverageIndex
+from repro.exceptions import ValidationError
 
 
 def uniform_prior(n_classes: int) -> np.ndarray:
@@ -39,7 +40,7 @@ def uniform_prior(n_classes: int) -> np.ndarray:
     """
     n = int(n_classes)
     if n < 1:
-        raise ValueError(f"n_classes must be >= 1, got {n_classes}")
+        raise ValidationError(f"n_classes must be >= 1, got {n_classes}")
     return np.full(n, 1.0 / n)
 
 
@@ -372,7 +373,7 @@ def vp_extend(
     if mode == VERIFY_PAPER:
         consistent, counterfactual = verifier.check(selected | {v}, label)
         return consistent and counterfactual
-    raise ValueError(f"unknown verification mode {mode!r}")
+    raise ValidationError(f"unknown verification mode {mode!r}")
 
 
 def vp_extend_frontier(

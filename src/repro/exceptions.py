@@ -11,6 +11,35 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (bad bound, empty input...).
+
+    Dual-inherits :class:`ValueError` so pre-existing ``except
+    ValueError`` callers keep working while API callers can catch
+    :class:`ReproError` uniformly (docs/api.md error contract).
+    """
+
+
+class InvalidTypeError(ReproError, TypeError):
+    """An argument has the wrong type (dual-inherits TypeError)."""
+
+
+class MissingKeyError(ReproError, KeyError):
+    """A lookup key is absent (dual-inherits KeyError).
+
+    ``KeyError.__str__`` reprs its argument; this subclass restores
+    plain messages so typed errors render readably at API boundaries.
+    """
+
+    def __str__(self) -> str:
+        return Exception.__str__(self)
+
+
+class AnalysisError(ReproError):
+    """The static-analysis run itself failed (parse error, bad
+    baseline file...) — distinct from the findings it reports."""
+
+
 class GraphError(ReproError):
     """Structural problem with a graph (bad node id, malformed edge...)."""
 

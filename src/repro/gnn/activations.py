@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import numpy as np
+from repro.exceptions import ValidationError
 
 
 def relu(z: np.ndarray) -> np.ndarray:
@@ -33,7 +34,7 @@ def get_activation(name: str):
     try:
         return ACTIVATIONS[name]
     except KeyError:
-        raise ValueError(
+        raise ValidationError(
             f"unknown activation {name!r}; options: {sorted(ACTIVATIONS)}"
         ) from None
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Tuple
 
 import numpy as np
+from repro.exceptions import ValidationError
 
 
 def softmax(logits: np.ndarray) -> np.ndarray:
@@ -23,7 +24,7 @@ def softmax_cross_entropy(logits: np.ndarray, label: int) -> Tuple[float, np.nda
     probs = softmax(logits)
     n_classes = logits.shape[-1]
     if not 0 <= label < n_classes:
-        raise ValueError(f"label {label} out of range for {n_classes} classes")
+        raise ValidationError(f"label {label} out of range for {n_classes} classes")
     loss = -float(np.log(max(probs[label], 1e-12)))
     dlogits = probs.copy()
     dlogits[label] -= 1.0

@@ -11,6 +11,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.utils.validation import check_non_negative, check_positive
+from repro.exceptions import ValidationError
 
 
 class Optimizer:
@@ -33,7 +34,7 @@ class Sgd(Optimizer):
 
     def step(self, params: Sequence[np.ndarray], grads: Sequence[np.ndarray]) -> None:
         if len(params) != len(grads):
-            raise ValueError("params and grads length mismatch")
+            raise ValidationError("params and grads length mismatch")
         if not self._velocity:
             self._velocity = [np.zeros_like(p) for p in params]
         for p, g, v in zip(params, grads, self._velocity):
@@ -57,7 +58,7 @@ class Adam(Optimizer):
     ) -> None:
         self.lr = check_positive("lr", lr)
         if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
-            raise ValueError(f"betas must be in [0, 1), got {beta1}, {beta2}")
+            raise ValidationError(f"betas must be in [0, 1), got {beta1}, {beta2}")
         self.beta1 = beta1
         self.beta2 = beta2
         self.eps = check_positive("eps", eps)
@@ -67,7 +68,7 @@ class Adam(Optimizer):
 
     def step(self, params: Sequence[np.ndarray], grads: Sequence[np.ndarray]) -> None:
         if len(params) != len(grads):
-            raise ValueError("params and grads length mismatch")
+            raise ValidationError("params and grads length mismatch")
         if not self._m:
             self._m = [np.zeros_like(p) for p in params]
             self._v = [np.zeros_like(p) for p in params]

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graphs.graph import Graph
+from repro.exceptions import ValidationError
 
 
 def normalized_adjacency(graph: Graph) -> np.ndarray:
@@ -36,7 +37,7 @@ def normalize_dense(A: np.ndarray) -> np.ndarray:
     masks) and need to re-normalize: entries must be non-negative.
     """
     if A.ndim != 2 or A.shape[0] != A.shape[1]:
-        raise ValueError(f"adjacency must be square, got {A.shape}")
+        raise ValidationError(f"adjacency must be square, got {A.shape}")
     A_hat = A + np.eye(A.shape[0])
     deg = A_hat.sum(axis=1)
     deg = np.where(deg <= 0, 1.0, deg)
@@ -52,7 +53,7 @@ def propagation_power(P: np.ndarray, k: int) -> np.ndarray:
     which cancels under the paper's row normalization (Eq. 4).
     """
     if k < 0:
-        raise ValueError(f"k must be >= 0, got {k}")
+        raise ValidationError(f"k must be >= 0, got {k}")
     return np.linalg.matrix_power(P, k)
 
 
@@ -68,7 +69,7 @@ def power_sequence(P: np.ndarray, k: int) -> "list[np.ndarray]":
     :func:`propagation_power` there.
     """
     if k < 0:
-        raise ValueError(f"k must be >= 0, got {k}")
+        raise ValidationError(f"k must be >= 0, got {k}")
     if k == 0:
         return []
     powers = [P]
@@ -125,7 +126,7 @@ def extend_power_sequence(
     m = P_new.shape[0]
     pos = np.asarray(prev_positions, dtype=np.intp)
     if pos.size != prev_powers[0].shape[0]:
-        raise ValueError(
+        raise ValidationError(
             f"prev_positions has {pos.size} entries for "
             f"{prev_powers[0].shape[0]} previous nodes"
         )

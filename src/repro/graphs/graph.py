@@ -325,7 +325,11 @@ class Graph:
         )
 
     def __hash__(self) -> int:  # pragma: no cover - graphs are mutable
-        raise TypeError("Graph is unhashable; use matching.canonical keys")
+        # the unhashable-type protocol requires builtin TypeError:
+        # set()/dict use would misreport a ReproError
+        raise TypeError(  # repro: noqa[REPRO402]
+            "Graph is unhashable; use matching.canonical keys"
+        )
 
     def __repr__(self) -> str:
         kind = "DiGraph" if self.directed else "Graph"

@@ -13,7 +13,7 @@ from __future__ import annotations
 import hashlib
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.exceptions import PatternError
+from repro.exceptions import GraphError, PatternError
 from repro.graphs.graph import Graph
 
 
@@ -134,7 +134,7 @@ def _wl_key(graph: Graph, iterations: int = 3) -> str:
             for w in sorted(graph.all_neighbors(v)):
                 try:
                     etype = graph.edge_type(v, w)
-                except Exception:
+                except GraphError:
                     etype = graph.edge_type(w, v)
                 neigh.append(f"{etype}:{colors[w]}")
             neigh.sort()

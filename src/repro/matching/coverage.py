@@ -149,7 +149,7 @@ class CoverageIndex:
         self.hosts: List[Graph] = list(hosts)
         self.match_cap = match_cap
         self.backend = resolve_backend(backend)
-        self._cache: Dict[int, PatternCoverage] = {}
+        self._cache: Dict[Pattern, PatternCoverage] = {}
         self._identity: Dict[str, List[Pattern]] = {}
         self._host_keys: Optional[List[str]] = (
             None
@@ -184,7 +184,7 @@ class CoverageIndex:
     def coverage(self, pattern: Pattern) -> PatternCoverage:
         """Coverage of ``pattern`` across all hosts (cached, batched)."""
         canon = pattern_identity(pattern, self._identity, backend=self.backend)
-        key = id(canon)
+        key = canon
         if key not in self._cache:
             per_host = pmatch(
                 canon,

@@ -17,6 +17,7 @@ from repro.graphs.graph import Graph
 from repro.graphs.pattern import Pattern
 from repro.matching.canonical import pattern_identity
 from repro.matching.isomorphism import find_isomorphisms, resolve_backend
+from repro.exceptions import ValidationError
 
 
 class IncrementalMatcher:
@@ -42,8 +43,8 @@ class IncrementalMatcher:
         self._adj: List[Set[int]] = []
         self._patterns: List[Pattern] = []
         self._identity: Dict[str, List[Pattern]] = {}
-        self._covered_nodes: Dict[int, Set[int]] = {}
-        self._covered_edges: Dict[int, Set[Tuple[int, int]]] = {}
+        self._covered_nodes: Dict[Pattern, Set[int]] = {}
+        self._covered_edges: Dict[Pattern, Set[Tuple[int, int]]] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -65,10 +66,10 @@ class IncrementalMatcher:
         registration order does not affect results.
         """
         canon = pattern_identity(pattern, self._identity, backend=self.backend)
-        if id(canon) not in self._covered_nodes:
+        if canon not in self._covered_nodes:
             self._patterns.append(canon)
-            self._covered_nodes[id(canon)] = set()
-            self._covered_edges[id(canon)] = set()
+            self._covered_nodes[canon] = set()
+            self._covered_edges[canon] = set()
             if self.n_nodes:
                 self._match_into(canon, self.host_graph(), list(range(self.n_nodes)))
         return canon
@@ -85,7 +86,7 @@ class IncrementalMatcher:
         self._adj.append(set())
         for u, etype in edges:
             if not 0 <= u < v:
-                raise ValueError(f"edge endpoint {u} not yet in stream (v={v})")
+                raise ValidationError(f"edge endpoint {u} not yet in stream (v={v})")
             key = (u, v) if (self.directed or u <= v) else (v, u)
             # stream edges always point from an existing node to the new one
             self._edges[(u, v) if self.directed else key] = int(etype)
@@ -98,11 +99,11 @@ class IncrementalMatcher:
     # ------------------------------------------------------------------
     def covered_nodes(self, pattern: Pattern) -> Set[int]:
         canon = pattern_identity(pattern, self._identity, backend=self.backend)
-        return set(self._covered_nodes.get(id(canon), set()))
+        return set(self._covered_nodes.get(canon, set()))
 
     def covered_edges(self, pattern: Pattern) -> Set[Tuple[int, int]]:
         canon = pattern_identity(pattern, self._identity, backend=self.backend)
-        return set(self._covered_edges.get(id(canon), set()))
+        return set(self._covered_edges.get(canon, set()))
 
     def union_covered_nodes(self) -> Set[int]:
         out: Set[int] = set()
@@ -130,8 +131,8 @@ class IncrementalMatcher:
         local_to_global: Sequence[int],
         must_include: Optional[int] = None,
     ) -> None:
-        nodes = self._covered_nodes[id(pattern)]
-        edges = self._covered_edges[id(pattern)]
+        nodes = self._covered_nodes[pattern]
+        edges = self._covered_edges[pattern]
         count = 0
         for mapping in find_isomorphisms(pattern, host, backend=self.backend):
             count += 1

@@ -36,7 +36,7 @@ import threading
 from collections import OrderedDict
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.exceptions import MatchingError
+from repro.exceptions import MatchingError, ValidationError
 from repro.graphs.graph import Graph
 from repro.graphs.pattern import Pattern
 from repro.matching.context import MatchContext, MatchPlan, graph_content_key
@@ -462,7 +462,9 @@ class MatchPlanCache:
         for content, graph_dict in dict(snapshot.get("patterns") or {}).items():
             try:
                 pattern = Pattern(graph_from_dict(graph_dict))
-            except Exception:
+            # repro: noqa[REPRO401] - warm tier is best-effort: a malformed
+            # snapshot row is dropped (counted) rather than failing boot
+            except Exception:  # repro: noqa[REPRO401]
                 stats["dropped"] += 1
                 continue
             if graph_content_key(pattern.graph) != content:
@@ -476,7 +478,7 @@ class MatchPlanCache:
                 content, host_key, cap, nodes, edges = row
                 key = key_of[content]
                 if not isinstance(host_key, str) or not isinstance(cap, int):
-                    raise ValueError(row)
+                    raise ValidationError(row)
                 value = (
                     frozenset(int(n) for n in nodes),
                     frozenset((int(u), int(v)) for u, v in edges),
@@ -496,7 +498,7 @@ class MatchPlanCache:
                 content, host_key, flag = row
                 key = key_of[content]
                 if not isinstance(host_key, str) or not isinstance(flag, bool):
-                    raise ValueError(row)
+                    raise ValidationError(row)
             except (KeyError, TypeError, ValueError):
                 stats["dropped"] += 1
                 continue
@@ -508,7 +510,10 @@ class MatchPlanCache:
         return stats
 
     # ------------------------------------------------------------------
-    def _reinit_after_fork(self) -> None:
+    # repro: noqa[REPRO101] - runs via os.register_at_fork in the child,
+    # which is single-threaded by construction; rebuilding the lock and
+    # state lock-free here is the documented fork-safety design
+    def _reinit_after_fork(self) -> None:  # repro: noqa[REPRO101]
         """Replace the lock and drop contents in a freshly forked child.
 
         The fork-pool executors fork from the threaded serve process;

@@ -81,9 +81,8 @@ def mine_patterns(
         raise MiningError(f"min_support must be >= 1, got {min_support}")
 
     identity: Dict[str, List[Pattern]] = {}
-    support: Dict[int, Set[int]] = {}
-    embeddings: Dict[int, int] = {}
-    canon_by_id: Dict[int, Pattern] = {}
+    support: Dict[Pattern, Set[int]] = {}
+    embeddings: Dict[Pattern, int] = {}
 
     for h, host in enumerate(hosts):
         keys = None if subset_keys is None else subset_keys[h]
@@ -99,13 +98,12 @@ def mine_patterns(
             else:
                 candidate = Pattern.from_induced(host, subset)
             canon = pattern_identity(candidate, identity, backend=backend)
-            key = id(canon)
-            canon_by_id[key] = canon
+            key = canon
             support.setdefault(key, set()).add(h)
             embeddings[key] = embeddings.get(key, 0) + 1
 
     mined = [
-        MinedPattern(canon_by_id[k], support=len(s), embeddings=embeddings[k])
+        MinedPattern(k, support=len(s), embeddings=embeddings[k])
         for k, s in support.items()
         if len(s) >= min_support
     ]

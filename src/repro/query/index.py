@@ -37,7 +37,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from repro.config import MATCH_REFERENCE
-from repro.exceptions import QueryError
+from repro.exceptions import QueryError, ValidationError
 from repro.graphs.database import GraphDatabase
 from repro.graphs.graph import Graph
 from repro.graphs.pattern import Pattern
@@ -355,7 +355,7 @@ class ViewIndex:
         self, pattern: Pattern
     ) -> List[Tuple[Optional[Hashable], int]]:
         if self.db is None:
-            raise ValueError("graph-scope queries require a source database")
+            raise ValidationError("graph-scope queries require a source database")
         canon, key = self._canon(pattern)
         postings = self._graph_postings.get(key)
         if postings is None:
@@ -380,7 +380,7 @@ class ViewIndex:
                 for sub in view.subgraphs
             ]
         if self.db is None:
-            raise ValueError("graph-scope queries require a source database")
+            raise ValidationError("graph-scope queries require a source database")
         return [(self._group_of.get(idx), idx) for idx in range(len(self.db.graphs))]
 
     def _evaluate(
@@ -643,7 +643,7 @@ class ViewIndex:
         for content, graph_dict in dict(snapshot.get("patterns") or {}).items():
             try:
                 pattern = Pattern(graph_from_dict(graph_dict))
-            except Exception:
+            except Exception:  # repro: noqa[REPRO401] - warm row is best-effort
                 continue  # malformed: drop
             if graph_content_key(pattern.graph) != content:
                 continue  # stale content key: drop, don't apply
@@ -663,7 +663,7 @@ class ViewIndex:
                 elif json_key[0] == "db":
                     host_key = ("db", int(json_key[1]))
                 else:
-                    raise ValueError(json_key)
+                    raise ValidationError(json_key)
                 flag = bool(flag)
             except (KeyError, IndexError, TypeError, ValueError):
                 continue  # malformed row: drop

@@ -322,7 +322,7 @@ class _Job:
                 self.results[shard_id] = msg
             self.done.notify_all()
 
-    def _requeue(self, shard_ids: Set[int]) -> None:
+    def _requeue_locked(self, shard_ids: Set[int]) -> None:
         """Put un-finished shards back on the queue (caller holds lock)."""
         for shard_id in sorted(shard_ids):
             if shard_id not in self.results and shard_id not in self.pending:
@@ -338,7 +338,7 @@ class _Job:
                 record = None
         with self.done:
             if record is not None or self.in_flight.get(worker_id):
-                self._requeue(self.in_flight.pop(worker_id, set()))
+                self._requeue_locked(self.in_flight.pop(worker_id, set()))
             self.done.notify_all()
 
     def _dispatch_loop(self, worker_id: str, url: str) -> None:
@@ -396,7 +396,7 @@ class _Job:
                     stale.append(record.worker_id)
         for worker_id in stale:
             with self.done:
-                self._requeue(self.in_flight.pop(worker_id, set()))
+                self._requeue_locked(self.in_flight.pop(worker_id, set()))
                 self.done.notify_all()
 
     def _ensure_dispatchers(self) -> None:

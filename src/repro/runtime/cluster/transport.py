@@ -40,7 +40,7 @@ def _exchange(request: Request, timeout: float) -> Dict[str, Any]:
         try:
             body = json.loads(exc.read().decode("utf-8"))
             detail = f": {body.get('error', body)}"
-        except Exception:
+        except Exception:  # repro: noqa[REPRO401] - best-effort detail
             pass
         raise TransportError(
             f"{request.full_url} answered HTTP {exc.code}{detail}"

@@ -189,13 +189,13 @@ class ClusterWorker:
                     f"{self.coordinator_url}/cache", token=self.auth_token
                 )
             )
-        except Exception:
+        except Exception:  # repro: noqa[REPRO401] - warm start is best-effort
             return {}
         stats: Dict[str, int] = {}
         if snapshot.plan_cache is not None:
             try:
                 stats = dict(PLAN_CACHE.load_snapshot(snapshot.plan_cache))
-            except Exception:
+            except Exception:  # repro: noqa[REPRO401] - warm start is best-effort
                 stats = {}
         self.index_snapshot = snapshot.view_index
         self.warm_stats = stats

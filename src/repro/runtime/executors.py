@@ -36,7 +36,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.config import SCOPE_PER_GROUP, GvexConfig
-from repro.exceptions import WorkerCrashError
+from repro.exceptions import ValidationError, WorkerCrashError
 from repro.core.approx import ApproxGvex, explain_graph
 from repro.gnn.model import GnnClassifier
 from repro.graphs.database import GraphDatabase
@@ -362,7 +362,7 @@ class ShardedExecutor(Executor):
 
     def __init__(self, n_shards: int = 2, inner: Optional[Executor] = None):
         if n_shards < 1:
-            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+            raise ValidationError(f"n_shards must be >= 1, got {n_shards}")
         self.n_shards = n_shards
         self.inner = inner if inner is not None else SerialExecutor()
 
@@ -427,7 +427,7 @@ def make_executor(
     :class:`ShardedExecutor`; ``processes > 1`` selects the fork pool.
     """
     if n_shards < 1:
-        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        raise ValidationError(f"n_shards must be >= 1, got {n_shards}")
     inner: Executor
     inner = ForkPoolExecutor(processes) if processes > 1 else SerialExecutor()
     if n_shards > 1:

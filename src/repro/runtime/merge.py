@@ -20,6 +20,7 @@ from typing import Dict, Hashable, Optional, Sequence
 from repro.config import GvexConfig
 from repro.core.psum import summarize
 from repro.graphs.view import ExplanationView, ViewSet
+from repro.exceptions import ValidationError
 
 
 def merge_views(
@@ -32,10 +33,10 @@ def merge_views(
     re-summarized over the union so coverage and edge loss stay valid.
     """
     if not views:
-        raise ValueError("merge_views needs at least one view")
+        raise ValidationError("merge_views needs at least one view")
     label = views[0].label
     if any(v.label != label for v in views):
-        raise ValueError("cannot merge views of different labels")
+        raise ValidationError("cannot merge views of different labels")
 
     by_graph: Dict[int, object] = {}
     for view in views:

@@ -35,7 +35,7 @@ import threading
 import time
 from typing import Any, Callable, Dict, Optional
 
-from repro.exceptions import QueueFullError
+from repro.exceptions import QueueFullError, ValidationError
 
 DEFAULT_CAPACITY = 8
 #: tenant key used when a submission names no tenant
@@ -59,7 +59,7 @@ class WorkItem:
         self.started_at = time.perf_counter()
         try:
             self._result = self._fn()
-        except BaseException as exc:  # noqa: BLE001 - re-raised in result()
+        except BaseException as exc:  # repro: noqa[REPRO401] - re-raised in result()
             self._error = exc
         finally:
             self.finished_at = time.perf_counter()
@@ -131,11 +131,11 @@ class BoundedWorkQueue:
         tenant_capacity: Optional[int] = None,
     ):
         if capacity < 1:
-            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+            raise ValidationError(f"queue capacity must be >= 1, got {capacity}")
         if workers < 1:
-            raise ValueError(f"queue workers must be >= 1, got {workers}")
+            raise ValidationError(f"queue workers must be >= 1, got {workers}")
         if tenant_capacity is not None and tenant_capacity < 1:
-            raise ValueError(
+            raise ValidationError(
                 f"tenant_capacity must be >= 1 or None, got {tenant_capacity}"
             )
         self.capacity = capacity

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Optional, Union
 
 import numpy as np
+from repro.exceptions import ValidationError
 
 RngLike = Union[None, int, np.random.Generator]
 
@@ -33,7 +34,7 @@ def spawn_rngs(seed: RngLike, count: int) -> list[np.random.Generator]:
     non-overlapping streams.
     """
     if count < 0:
-        raise ValueError(f"count must be >= 0, got {count}")
+        raise ValidationError(f"count must be >= 0, got {count}")
     root = ensure_rng(seed)
     seeds = root.integers(0, 2**63 - 1, size=count)
     return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,6 +1,7 @@
 """Small argument validators shared across the library.
 
-Each validator raises ``ValueError`` with a message naming the offending
+Each validator raises :class:`repro.exceptions.ValidationError`
+(a ``ValueError`` subclass) with a message naming the offending
 argument, so API misuse fails loudly at the boundary instead of deep
 inside an algorithm.
 """
@@ -8,40 +9,41 @@ inside an algorithm.
 from __future__ import annotations
 
 from typing import Any
+from repro.exceptions import ValidationError
 
 
 def check_positive(name: str, value: float) -> float:
     """Require ``value > 0``."""
     if not value > 0:
-        raise ValueError(f"{name} must be > 0, got {value!r}")
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
     return value
 
 
 def check_non_negative(name: str, value: float) -> float:
     """Require ``value >= 0``."""
     if value < 0:
-        raise ValueError(f"{name} must be >= 0, got {value!r}")
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
     return value
 
 
 def check_probability(name: str, value: float) -> float:
     """Require ``0 <= value <= 1``."""
     if not 0.0 <= value <= 1.0:
-        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+        raise ValidationError(f"{name} must be in [0, 1], got {value!r}")
     return value
 
 
 def check_fraction(name: str, value: float) -> float:
     """Require ``0 < value <= 1`` (a non-empty fraction)."""
     if not 0.0 < value <= 1.0:
-        raise ValueError(f"{name} must be in (0, 1], got {value!r}")
+        raise ValidationError(f"{name} must be in (0, 1], got {value!r}")
     return value
 
 
 def check_in(name: str, value: Any, allowed: tuple) -> Any:
     """Require ``value`` to be one of ``allowed``."""
     if value not in allowed:
-        raise ValueError(f"{name} must be one of {allowed}, got {value!r}")
+        raise ValidationError(f"{name} must be one of {allowed}, got {value!r}")
     return value
 
 

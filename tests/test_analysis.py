@@ -1,0 +1,659 @@
+"""Tests for ``repro.analysis`` — the AST-based invariant linter.
+
+Each checker gets a known-bad fixture (must fire with exact codes and
+lines) and a known-good fixture (must stay silent), then the
+suppression layers (inline noqa, baseline) and the CLI contract are
+exercised, and finally the linter self-runs on the real tree: the
+merged repo must be clean and the committed baseline must have no
+stale entries.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import cli
+from repro.analysis import (
+    CODES,
+    DeterminismChecker,
+    ExceptionPolicyChecker,
+    Finding,
+    ForkSafetyChecker,
+    LockDisciplineChecker,
+    ProjectModel,
+    WirePolicyChecker,
+    all_checkers,
+    checker_names,
+    format_baseline,
+    load_baseline,
+    run_analysis,
+)
+from repro.exceptions import AnalysisError
+
+REPO = Path(__file__).resolve().parent.parent
+BASELINE = REPO / "scripts" / "analysis_baseline.txt"
+
+
+def make_project(tmp_path: Path, files: dict, package: str = "pkg"):
+    root = tmp_path / package
+    root.mkdir(exist_ok=True)
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return ProjectModel(root)
+
+
+def codes_and_lines(findings):
+    return sorted((f.code, f.line) for f in findings)
+
+
+# ----------------------------------------------------------------------
+# framework basics
+# ----------------------------------------------------------------------
+class TestFramework:
+    def test_all_checkers_cover_every_code(self):
+        covered = set()
+        for checker in all_checkers():
+            covered.update(checker.codes)
+        assert covered == set(CODES)
+
+    def test_checker_names_are_stable(self):
+        assert checker_names() == [
+            "determinism", "exceptions", "forksafety", "locks", "wire",
+        ]
+
+    def test_finding_identity_and_render(self):
+        f = Finding(
+            path="pkg/mod.py", line=7, code="REPRO101",
+            symbol="C.m.attr", message="boom", checker="locks",
+        )
+        assert f.identity == "pkg/mod.py::REPRO101::C.m.attr"
+        assert f.render() == "pkg/mod.py:7: REPRO101 boom"
+
+    def test_unparseable_module_is_an_analysis_error(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            make_project(tmp_path, {"broken.py": "def oops(:\n"})
+
+
+# ----------------------------------------------------------------------
+# REPRO1xx — lock discipline
+# ----------------------------------------------------------------------
+class TestLockDiscipline:
+    def test_unguarded_mutation_of_guarded_attr_fires(self, tmp_path):
+        project = make_project(tmp_path, {"mod.py": """\
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def add(self, x):
+                    with self._lock:
+                        self._items.append(x)
+
+                def sneaky(self, x):
+                    self._items.append(x)
+            """})
+        findings = list(LockDisciplineChecker().check(project))
+        assert codes_and_lines(findings) == [("REPRO101", 13)]
+        assert findings[0].symbol == "C.sneaky._items"
+        assert findings[0].path == "pkg/mod.py"
+
+    def test_conventions_are_clean(self, tmp_path):
+        # __init__ exemption, _locked suffix, Condition-wraps-lock
+        project = make_project(tmp_path, {"mod.py": """\
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._cond = threading.Condition(self._lock)
+                    self._items = []
+
+                def add(self, x):
+                    with self._cond:
+                        self._items.append(x)
+
+                def drain_locked(self):
+                    self._items.clear()
+
+                def also_guarded(self):
+                    with self._lock:
+                        self._items.append(1)
+            """})
+        assert list(LockDisciplineChecker().check(project)) == []
+
+    def test_lock_reentry_deadlock_fires(self, tmp_path):
+        project = make_project(tmp_path, {"mod.py": """\
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def outer(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+            """})
+        findings = list(LockDisciplineChecker().check(project))
+        assert codes_and_lines(findings) == [("REPRO102", 9)]
+        assert findings[0].symbol == "C.outer.C._lock"
+
+    def test_rlock_reentry_is_clean(self, tmp_path):
+        project = make_project(tmp_path, {"mod.py": """\
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.RLock()
+
+                def outer(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+            """})
+        assert list(LockDisciplineChecker().check(project)) == []
+
+    def test_lock_order_cycle_fires_on_both_edges(self, tmp_path):
+        project = make_project(tmp_path, {"mod.py": """\
+            import threading
+
+            class A:
+                def __init__(self):
+                    self._a = threading.Lock()
+
+                def one(self, b):
+                    with self._a:
+                        with b._b:
+                            pass
+
+            class B:
+                def __init__(self):
+                    self._b = threading.Lock()
+
+                def two(self, a):
+                    with self._b:
+                        with a._a:
+                            pass
+            """})
+        findings = list(LockDisciplineChecker().check(project))
+        assert codes_and_lines(findings) == [("REPRO102", 9), ("REPRO102", 18)]
+        assert {f.symbol for f in findings} == {
+            "A.one.A._a->B._b", "B.two.B._b->A._a",
+        }
+
+    def test_consistent_lock_order_is_clean(self, tmp_path):
+        project = make_project(tmp_path, {"mod.py": """\
+            import threading
+
+            class A:
+                def __init__(self):
+                    self._a = threading.Lock()
+
+                def one(self, b):
+                    with self._a:
+                        with b._b:
+                            pass
+
+            class B:
+                def __init__(self):
+                    self._b = threading.Lock()
+            """})
+        assert list(LockDisciplineChecker().check(project)) == []
+
+
+# ----------------------------------------------------------------------
+# REPRO2xx — fork / worker safety
+# ----------------------------------------------------------------------
+class TestForkSafety:
+    def test_mutable_global_mutation_on_worker_path_fires(self, tmp_path):
+        project = make_project(tmp_path, {
+            "runtime/executors.py": "import pkg.state\n",
+            "state.py": """\
+                CACHE = {}
+
+                def put(k, v):
+                    CACHE[k] = v
+
+                def drop(k):
+                    del CACHE[k]
+                """,
+        })
+        findings = list(ForkSafetyChecker().check(project))
+        assert codes_and_lines(findings) == [("REPRO201", 4), ("REPRO201", 7)]
+        assert findings[0].symbol == "put.CACHE"
+        assert findings[1].symbol == "drop.CACHE"
+
+    def test_unreachable_module_is_not_checked(self, tmp_path):
+        # same mutation, but nothing on the worker path imports it
+        project = make_project(tmp_path, {
+            "runtime/executors.py": "X = 1\n",
+            "state.py": """\
+                CACHE = {}
+
+                def put(k, v):
+                    CACHE[k] = v
+                """,
+        })
+        assert list(ForkSafetyChecker().check(project)) == []
+
+    def test_readonly_table_is_clean(self, tmp_path):
+        project = make_project(tmp_path, {
+            "runtime/executors.py": "import pkg.state\n",
+            "state.py": """\
+                TABLE = {"a": 1}
+
+                def get(k):
+                    return TABLE.get(k)
+                """,
+        })
+        assert list(ForkSafetyChecker().check(project)) == []
+
+    def test_lock_singleton_without_at_fork_hook_fires(self, tmp_path):
+        project = make_project(tmp_path, {
+            "runtime/executors.py": "import pkg.state\n",
+            "state.py": """\
+                import threading
+
+                class Cache:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                CACHE = Cache()
+                """,
+        })
+        findings = list(ForkSafetyChecker().check(project))
+        assert codes_and_lines(findings) == [("REPRO202", 7)]
+        assert findings[0].symbol == "state.CACHE"
+
+    def test_at_fork_hook_makes_singleton_clean(self, tmp_path):
+        project = make_project(tmp_path, {
+            "runtime/executors.py": "import pkg.state\n",
+            "state.py": """\
+                import os
+                import threading
+
+                class Cache:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def _reinit(self):
+                        self._lock = threading.Lock()
+
+                CACHE = Cache()
+                os.register_at_fork(after_in_child=CACHE._reinit)
+                """,
+        })
+        assert list(ForkSafetyChecker().check(project)) == []
+
+
+# ----------------------------------------------------------------------
+# REPRO3xx — determinism
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def test_set_iteration_into_accumulator_fires(self, tmp_path):
+        project = make_project(tmp_path, {"matching/order.py": """\
+            def collect(items):
+                out = []
+                for x in set(items):
+                    out.append(x)
+                return out
+
+            def comp(items):
+                return [x for x in set(items)]
+            """})
+        findings = list(DeterminismChecker().check(project))
+        assert codes_and_lines(findings) == [("REPRO301", 3), ("REPRO301", 8)]
+
+    def test_sorted_set_iteration_is_clean(self, tmp_path):
+        project = make_project(tmp_path, {"matching/order.py": """\
+            def collect(items):
+                out = []
+                for x in sorted(set(items)):
+                    out.append(x)
+                return [y for y in sorted(set(items))]
+            """})
+        assert list(DeterminismChecker().check(project)) == []
+
+    def test_cold_package_set_iteration_not_flagged(self, tmp_path):
+        # same pattern outside the determinism-critical packages
+        project = make_project(tmp_path, {"viz/plot.py": """\
+            def collect(items):
+                out = []
+                for x in set(items):
+                    out.append(x)
+                return out
+            """})
+        assert list(DeterminismChecker().check(project)) == []
+
+    def test_global_rng_fires(self, tmp_path):
+        project = make_project(tmp_path, {"mod.py": """\
+            import random
+
+            import numpy as np
+
+            def draw():
+                a = np.random.rand(3)
+                b = random.choice([1, 2])
+                return a, b
+            """})
+        findings = list(DeterminismChecker().check(project))
+        assert codes_and_lines(findings) == [("REPRO302", 6), ("REPRO302", 7)]
+
+    def test_seeded_generator_is_clean(self, tmp_path):
+        project = make_project(tmp_path, {"mod.py": """\
+            import numpy as np
+
+            def draw(seed):
+                rng = np.random.default_rng(seed)
+                return rng.random(3)
+            """})
+        assert list(DeterminismChecker().check(project)) == []
+
+    def test_id_and_time_keys_fire(self, tmp_path):
+        project = make_project(tmp_path, {"mod.py": """\
+            import time
+
+            def cache_key(obj):
+                key = id(obj)
+                return key
+
+            def lookup(d, obj):
+                return d[id(obj)]
+
+            def order(items):
+                return sorted(items, key=lambda x: id(x))
+
+            def stamp_key():
+                key = time.time()
+                return key
+            """})
+        findings = list(DeterminismChecker().check(project))
+        assert codes_and_lines(findings) == [
+            ("REPRO303", 4), ("REPRO303", 8),
+            ("REPRO303", 11), ("REPRO303", 14),
+        ]
+        kinds = {f.symbol.rsplit(".", 1)[-1] for f in findings}
+        assert kinds == {"id", "time"}
+
+    def test_content_keys_are_clean(self, tmp_path):
+        project = make_project(tmp_path, {"mod.py": """\
+            def cache_key(obj):
+                key = obj.content_key()
+                return key
+
+            def lookup(d, obj):
+                return d[obj.content_key()]
+            """})
+        assert list(DeterminismChecker().check(project)) == []
+
+
+# ----------------------------------------------------------------------
+# REPRO4xx — exception & wire policy
+# ----------------------------------------------------------------------
+class TestExceptionPolicy:
+    def test_swallowed_broad_handler_and_builtin_raise_fire(self, tmp_path):
+        project = make_project(tmp_path, {"mod.py": """\
+            def swallow():
+                try:
+                    work()
+                except Exception:
+                    return None
+
+            def convert():
+                try:
+                    work()
+                except Exception as exc:
+                    raise RuntimeError("x") from exc
+
+            def validate(x):
+                if x < 0:
+                    raise ValueError("no")
+            """})
+        findings = list(ExceptionPolicyChecker().check(project))
+        assert codes_and_lines(findings) == [
+            ("REPRO401", 4),   # swallow: broad handler, no raise
+            ("REPRO402", 11),  # convert re-raises, but to a builtin
+            ("REPRO402", 15),  # builtin ValueError
+        ]
+        assert findings[0].symbol == "swallow.except"
+        assert findings[2].symbol == "validate.ValueError"
+
+    def test_typed_errors_and_exemptions_are_clean(self, tmp_path):
+        project = make_project(tmp_path, {"mod.py": """\
+            from pkg.errors import ReproError
+
+            def convert():
+                try:
+                    work()
+                except Exception as exc:
+                    raise ReproError("typed") from exc
+
+            def narrow():
+                try:
+                    work()
+                except ReproError:
+                    return None
+
+            def abstract():
+                raise NotImplementedError
+
+            def reraise():
+                try:
+                    work()
+                except Exception:
+                    raise
+            """, "errors.py": "class ReproError(Exception): pass\n"})
+        assert list(ExceptionPolicyChecker().check(project)) == []
+
+
+class TestWirePolicy:
+    WIRE = """\
+        MSG_PING = "ping"
+        MSG_DATA = "data"
+
+        def encode_ping(msg):
+            return {}
+
+        def decode_ping(payload):
+            return payload
+
+        DECODERS = {MSG_PING: decode_ping}
+        """
+
+    def test_incomplete_message_type_fires(self, tmp_path):
+        golden = tmp_path / "golden"
+        golden.mkdir()
+        (golden / "ping.json").write_text("{}")
+        project = make_project(
+            tmp_path, {"runtime/cluster/wire.py": self.WIRE}
+        )
+        checker = WirePolicyChecker(golden_dir=golden)
+        findings = list(checker.check(project))
+        assert codes_and_lines(findings) == [("REPRO403", 2)]
+        assert findings[0].symbol == "wire.data"
+        assert "encode_data" in findings[0].message
+        assert "DECODERS" in findings[0].message
+        assert "data.json" in findings[0].message
+
+    def test_complete_wire_module_is_clean(self, tmp_path):
+        golden = tmp_path / "golden"
+        golden.mkdir()
+        (golden / "ping.json").write_text("{}")
+        complete = self.WIRE.replace('MSG_DATA = "data"\n', "")
+        project = make_project(
+            tmp_path, {"runtime/cluster/wire.py": complete}
+        )
+        assert list(WirePolicyChecker(golden_dir=golden).check(project)) == []
+
+    def test_project_without_wire_layer_is_clean(self, tmp_path):
+        project = make_project(tmp_path, {"mod.py": "X = 1\n"})
+        assert list(WirePolicyChecker().check(project)) == []
+
+
+# ----------------------------------------------------------------------
+# suppression: inline noqa + baseline
+# ----------------------------------------------------------------------
+BAD_MOD = """\
+def validate(x):
+    if x < 0:
+        raise ValueError("no")
+"""
+
+
+class TestSuppression:
+    def run(self, tmp_path, source, baseline=None):
+        root = tmp_path / "pkg"
+        root.mkdir(exist_ok=True)
+        (root / "mod.py").write_text(textwrap.dedent(source))
+        return run_analysis(
+            root, checkers=[ExceptionPolicyChecker()], baseline=baseline
+        )
+
+    def test_noqa_on_finding_line_suppresses(self, tmp_path):
+        report = self.run(tmp_path, """\
+            def validate(x):
+                if x < 0:
+                    raise ValueError("no")  # repro: noqa[REPRO402]
+            """)
+        assert report.ok
+        assert len(report.suppressed) == 1
+
+    def test_bare_noqa_suppresses_all_codes(self, tmp_path):
+        report = self.run(tmp_path, """\
+            def validate(x):
+                if x < 0:
+                    raise ValueError("no")  # repro: noqa
+            """)
+        assert report.ok and len(report.suppressed) == 1
+
+    def test_noqa_with_other_code_does_not_suppress(self, tmp_path):
+        report = self.run(tmp_path, """\
+            def validate(x):
+                if x < 0:
+                    raise ValueError("no")  # repro: noqa[REPRO101]
+            """)
+        assert not report.ok
+        assert report.exit_code == 1
+
+    def test_noqa_on_def_line_covers_the_function(self, tmp_path):
+        report = self.run(tmp_path, """\
+            def validate(x):  # repro: noqa[REPRO402]
+                if x < 0:
+                    raise ValueError("no")
+            """)
+        assert report.ok and len(report.suppressed) == 1
+
+    def test_baseline_entry_accepts_finding(self, tmp_path):
+        baseline = tmp_path / "baseline.txt"
+        baseline.write_text(
+            "pkg/mod.py::REPRO402::validate.ValueError  # accepted debt\n"
+        )
+        report = self.run(tmp_path, BAD_MOD, baseline=baseline)
+        assert report.ok
+        assert len(report.baselined) == 1
+        assert report.stale_baseline == []
+
+    def test_stale_baseline_entry_is_reported_not_fatal(self, tmp_path):
+        baseline = tmp_path / "baseline.txt"
+        baseline.write_text(
+            "pkg/mod.py::REPRO402::validate.ValueError  # accepted\n"
+            "pkg/gone.py::REPRO101::C.m.attr  # fixed long ago\n"
+        )
+        report = self.run(tmp_path, BAD_MOD, baseline=baseline)
+        assert report.ok  # stale entries warn, they do not fail lint
+        assert report.stale_baseline == ["pkg/gone.py::REPRO101::C.m.attr"]
+        assert "stale baseline" in report.render_text()
+
+    def test_malformed_baseline_is_an_analysis_error(self, tmp_path):
+        baseline = tmp_path / "baseline.txt"
+        baseline.write_text("not-an-identity\n")
+        with pytest.raises(AnalysisError):
+            load_baseline(baseline)
+
+    def test_format_load_round_trip(self, tmp_path):
+        f = Finding(
+            path="pkg/mod.py", line=3, code="REPRO402",
+            symbol="validate.ValueError", message="m", checker="exceptions",
+        )
+        path = tmp_path / "baseline.txt"
+        path.write_text(format_baseline([f, f]))
+        entries = load_baseline(path)
+        assert list(entries) == ["pkg/mod.py::REPRO402::validate.ValueError"]
+
+
+# ----------------------------------------------------------------------
+# the CLI contract
+# ----------------------------------------------------------------------
+class TestLintCli:
+    def test_lint_json_is_clean_on_this_repo(self, capsys):
+        code = cli.main(["lint", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["schema"] == 1
+        assert payload["ok"] is True
+        assert payload["counts"]["findings"] == 0
+        assert payload["counts"]["stale_baseline"] == 0
+        assert set(payload["codes"]) == set(CODES)
+
+    def test_lint_exit_1_on_findings(self, tmp_path, capsys):
+        root = tmp_path / "pkg"
+        root.mkdir()
+        (root / "mod.py").write_text(BAD_MOD)
+        code = cli.main(
+            ["lint", "--root", str(root), "--no-baseline"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REPRO402" in out
+
+    def test_lint_exit_2_on_missing_baseline(self, tmp_path, capsys):
+        code = cli.main(
+            ["lint", "--baseline", str(tmp_path / "nope.txt")]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_write_baseline_candidates(self, tmp_path, capsys):
+        root = tmp_path / "pkg"
+        root.mkdir()
+        (root / "mod.py").write_text(BAD_MOD)
+        out_path = tmp_path / "candidate.txt"
+        code = cli.main(
+            ["lint", "--root", str(root), "--write-baseline", str(out_path)]
+        )
+        assert code == 0
+        entries = load_baseline(out_path)
+        assert list(entries) == ["pkg/mod.py::REPRO402::validate.ValueError"]
+
+    def test_out_writes_report_file(self, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        code = cli.main(["lint", "--format", "json", "--out", str(out_path)])
+        capsys.readouterr()
+        assert code == 0
+        assert json.loads(out_path.read_text())["ok"] is True
+
+
+# ----------------------------------------------------------------------
+# self-run: the merged tree must be clean
+# ----------------------------------------------------------------------
+class TestSelfRun:
+    def test_repo_is_clean_under_committed_baseline(self):
+        report = run_analysis(
+            Path(repro.__file__).parent, baseline=BASELINE
+        )
+        assert report.findings == [], "\n" + report.render_text()
+        # the baseline must not rot: every entry still matches a finding
+        assert report.stale_baseline == []
+
+    def test_every_baseline_entry_is_justified(self):
+        for identity, justification in load_baseline(BASELINE).items():
+            assert justification and "TODO" not in justification, identity

@@ -28,8 +28,8 @@ from repro.bench.harness import (
 from repro.bench.reporting import render_series, render_table, save_result
 from repro.config import BACKEND_BATCHED, BACKEND_SERIAL
 from repro.core.approx import explain_graph
-from repro.core.parallel import explain_database_parallel
 from repro.core.streaming import StreamGvex
+from repro.runtime import build_plan, run_plan
 from repro.datasets.zoo import get_trained
 
 from conftest import SCALE, SEED
@@ -167,9 +167,10 @@ def test_fig9e_parallelization(mut, benchmark):
         timings = {}
         for procs in (1, 2):
             start = time.perf_counter()
-            explain_database_parallel(
+            plan = build_plan(
                 mut.db, mut.model, bench_config(upper=6), processes=procs
             )
+            run_plan(plan, processes=procs)
             timings[procs] = time.perf_counter() - start
         return timings
 

@@ -47,6 +47,16 @@ SURFACES = [
         "matching.",
     ),
     (
+        "repro.graphs",
+        REPO / "src" / "repro" / "graphs" / "__init__.py",
+        "graphs.",
+    ),
+    (
+        "repro.gnn",
+        REPO / "src" / "repro" / "gnn" / "__init__.py",
+        "gnn.",
+    ),
+    (
         "repro.analysis",
         REPO / "src" / "repro" / "analysis" / "__init__.py",
         "analysis.",
@@ -113,7 +123,9 @@ def main(argv: "list[str]" = sys.argv[1:]) -> int:
         MANIFEST.write_text(
             "# Snapshot of the supported public surfaces: repro.api.__all__\n"
             "# (bare names), repro.runtime.__all__ ('runtime.' prefix),\n"
-            "# repro.matching.__all__ ('matching.' prefix), and\n"
+            "# repro.matching.__all__ ('matching.' prefix),\n"
+            "# repro.graphs.__all__ ('graphs.' prefix),\n"
+            "# repro.gnn.__all__ ('gnn.' prefix), and\n"
             "# repro.analysis.__all__ ('analysis.' prefix).\n"
             "# Regenerate with: python scripts/check_api_surface.py --update\n"
             "# Changing this file is an API change; see docs/api.md.\n"

@@ -149,9 +149,11 @@ def label_group_indices(
     trained: TrainedClassifier, label: int, limit: Optional[int] = None
 ) -> List[int]:
     """Indices of graphs the model assigns ``label`` (the group G^l)."""
+    from repro.core.approx import database_predictions
+
     out = []
-    for i, g in enumerate(trained.db):
-        if trained.model.predict(g) == label:
+    for i, pred in enumerate(database_predictions(trained.model, trained.db)):
+        if pred == label:
             out.append(i)
         if limit is not None and len(out) >= limit:
             break
@@ -160,9 +162,10 @@ def label_group_indices(
 
 def majority_label(trained: TrainedClassifier) -> int:
     """The most common predicted label (the 'label of interest')."""
+    from repro.core.approx import database_predictions
+
     counts: Dict[int, int] = {}
-    for g in trained.db:
-        pred = trained.model.predict(g)
+    for pred in database_predictions(trained.model, trained.db):
         if pred is not None:
             counts[pred] = counts.get(pred, 0) + 1
     return max(counts, key=lambda l: (counts[l], -l))

@@ -1,15 +1,14 @@
 """GVEX core: explainability objective, verifiers, and the two algorithms."""
 
-from repro.core.approx import ApproxGvex, explain_database, explain_graph
-from repro.core.distributed import (
-    explain_database_sharded,
-    merge_view_sets,
-    merge_views,
+from repro.core.approx import (
+    ApproxGvex,
+    database_predictions,
+    explain_database,
+    explain_graph,
 )
 from repro.core.explainability import ExplainabilityOracle, SelectionState
 from repro.core.inc_everify import IncrementalEVerify, OracleStats
 from repro.core.node_explain import NodeExplanation, explain_node
-from repro.core.parallel import explain_database_parallel
 from repro.core.psum import PsumResult, summarize
 from repro.core.streaming import AnytimeSnapshot, StreamGvex, StreamResult
 from repro.core.verifiers import (
@@ -30,10 +29,7 @@ __all__ = [
     "AnytimeSnapshot",
     "explain_graph",
     "explain_database",
-    "explain_database_parallel",
-    "explain_database_sharded",
-    "merge_views",
-    "merge_view_sets",
+    "database_predictions",
     "explain_node",
     "NodeExplanation",
     "ExplainabilityOracle",

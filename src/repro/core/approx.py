@@ -26,6 +26,7 @@ from repro.config import (
 from repro.core.explainability import ExplainabilityOracle, SelectionState
 from repro.core.psum import summarize
 from repro.core.verifiers import (
+    _AUTO,
     GnnVerifier,
     make_verifier,
     vp_extend_frontier,
@@ -46,6 +47,34 @@ class GraphExplainResult:
     inference_calls: int = 0
 
 
+def database_predictions(
+    model: GnnClassifier,
+    db,
+    indices: Optional[Sequence[int]] = None,
+) -> "List[Optional[int]]":
+    """``M(G)`` for every graph of a database in stacked forwards.
+
+    Uses :meth:`GnnClassifier.predict_db` over the database's columnar
+    mirror when the model supports it (size-grouped ``(B, n, ·)``
+    stacked passes fed straight from the shared CSR arrays) and falls
+    back to the serial per-graph loop for foreign models. Entry ``i``
+    equals ``model.predict(db[i])`` exactly either way. ``db`` may be a
+    :class:`~repro.graphs.database.GraphDatabase` or a plain graph
+    sequence; ``indices`` restricts the pass to those database indices
+    (shard execution) — entries then align with ``indices``, and the
+    columnar lookups still hit the right slices.
+    """
+    graphs = list(db.graphs if hasattr(db, "graphs") else db)
+    if indices is not None:
+        indices = [int(i) for i in indices]
+        graphs = [graphs[i] for i in indices]
+    predict_db = getattr(model, "predict_db", None)
+    if predict_db is None:
+        return [model.predict(g) for g in graphs]
+    columnar = getattr(db, "columnar", None)
+    return predict_db(graphs, columnar=columnar, indices=indices)
+
+
 def explain_graph(
     model: GnnClassifier,
     graph: Graph,
@@ -56,14 +85,18 @@ def explain_graph(
     upper: Optional[int] = None,
     oracle: Optional[ExplainabilityOracle] = None,
     seed_nodes: Sequence[int] = (),
+    predicted: object = _AUTO,
 ) -> GraphExplainResult:
     """Explanation phase of Algorithm 1 for a single graph.
 
     ``lower``/``upper`` override the configured coverage bounds (the
     per-group scope passes remaining budgets). ``seed_nodes`` are
     pre-selected before the greedy starts (node explanation seeds the
-    center node). Returns a result whose ``subgraph`` is ``None`` when
-    the lower bound could not be met (Algorithm 1 lines 16-17).
+    center node). ``predicted`` seeds the verifier's ``M(G)`` when the
+    caller already ran a stacked database forward (shard execution
+    does), avoiding a redundant serial pass. Returns a result whose
+    ``subgraph`` is ``None`` when the lower bound could not be met
+    (Algorithm 1 lines 16-17).
     """
     bounds = config.coverage_for(label)
     lower = bounds.lower if lower is None else lower
@@ -74,7 +107,7 @@ def explain_graph(
 
     if oracle is None:
         oracle = ExplainabilityOracle(model, graph, config)
-    verifier = make_verifier(model, graph, config)
+    verifier = make_verifier(model, graph, config, original_label=predicted)
     state = oracle.new_state()
     for v in seed_nodes:
         if len(state.selected) < upper:
@@ -376,7 +409,7 @@ class ApproxGvex:
     ) -> ViewSet:
         """Generate one explanation view per label of interest (Problem 1)."""
         if predicted is None:
-            predicted = [self.model.predict(g) for g in db]
+            predicted = database_predictions(self.model, db)
         groups: Dict[int, List[int]] = {}
         for i, l in enumerate(predicted):
             if l is None:
@@ -445,4 +478,10 @@ def explain_database(
     return ApproxGvex(model, config, labels).explain(db)
 
 
-__all__ = ["ApproxGvex", "explain_graph", "explain_database", "GraphExplainResult"]
+__all__ = [
+    "ApproxGvex",
+    "explain_graph",
+    "explain_database",
+    "database_predictions",
+    "GraphExplainResult",
+]

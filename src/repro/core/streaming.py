@@ -404,7 +404,9 @@ class StreamGvex:
         — the streaming counterpart of Problem 1's view generation.
         """
         if predicted is None:
-            predicted = [self.model.predict(g) for g in db]
+            from repro.core.approx import database_predictions
+
+            predicted = database_predictions(self.model, db)
         groups: Dict[int, List[int]] = {}
         for i, l in enumerate(predicted):
             if l is None:

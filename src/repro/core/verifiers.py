@@ -44,6 +44,11 @@ def uniform_prior(n_classes: int) -> np.ndarray:
     return np.full(n, 1.0 / n)
 
 
+#: sentinel distinguishing "compute M(G) now" from an explicit label
+#: (which may legitimately be ``None`` for the empty graph)
+_AUTO = object()
+
+
 class GnnVerifier:
     """Cached GNN inference on node subsets of one graph (``EVerify``).
 
@@ -58,10 +63,17 @@ class GnnVerifier:
     #: whether prefetches are filled with stacked batch passes
     is_batched = False
 
-    def __init__(self, model: GnnClassifier, graph: Graph) -> None:
+    def __init__(
+        self, model: GnnClassifier, graph: Graph, original_label: object = _AUTO
+    ) -> None:
         self.model = model
         self.graph = graph
-        self.original_label: Optional[int] = model.predict(graph)
+        #: ``M(G)`` — callers that already know the prediction (e.g. a
+        #: whole-shard ``predict_db`` pass) seed it to skip the serial
+        #: forward the default would launch here
+        self.original_label: Optional[int] = (
+            model.predict(graph) if original_label is _AUTO else original_label  # type: ignore[assignment]
+        )
         self._subset_probas: Dict[FrozenSet[int], np.ndarray] = {}
         self._remainder_probas: Dict[FrozenSet[int], np.ndarray] = {}
         self.inference_calls = 0
@@ -219,8 +231,10 @@ class BatchedGnnVerifier(GnnVerifier):
     #: the cap). Chunking changes scheduling only, never values.
     BATCH_ELEMENT_BUDGET = 16_000_000
 
-    def __init__(self, model: GnnClassifier, graph: Graph) -> None:
-        super().__init__(model, graph)
+    def __init__(
+        self, model: GnnClassifier, graph: Graph, original_label: object = _AUTO
+    ) -> None:
+        super().__init__(model, graph, original_label=original_label)
         self._can_batch = hasattr(model, "predict_proba_batch")
         #: dense gather sources (features / symmetrized adjacency) are
         #: immutable per graph; reusing them across launches avoids an
@@ -336,15 +350,21 @@ class BatchedGnnVerifier(GnnVerifier):
 
 
 def make_verifier(
-    model: GnnClassifier, graph: Graph, config: Optional[GvexConfig] = None
+    model: GnnClassifier,
+    graph: Graph,
+    config: Optional[GvexConfig] = None,
+    original_label: object = _AUTO,
 ) -> GnnVerifier:
     """``EVerify`` instance for ``config.verifier_backend``.
 
     Defaults to the batched backend when no config is given.
+    ``original_label`` seeds ``M(G)`` when the caller already computed
+    it (e.g. from a stacked :meth:`GnnClassifier.predict_db` pass over
+    the shard), skipping the per-graph forward.
     """
     if config is not None and config.verifier_backend == BACKEND_SERIAL:
-        return GnnVerifier(model, graph)
-    return BatchedGnnVerifier(model, graph)
+        return GnnVerifier(model, graph, original_label=original_label)
+    return BatchedGnnVerifier(model, graph, original_label=original_label)
 
 
 def vp_extend(

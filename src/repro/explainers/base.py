@@ -72,11 +72,13 @@ class Explainer(ABC):
         indices: Optional[Sequence[int]] = None,
     ) -> Dict[int, ExplanationSubgraph]:
         """Explain every graph (optionally restricted to one label group)."""
+        from repro.core.approx import database_predictions
+
         out: Dict[int, ExplanationSubgraph] = {}
-        pool = range(len(db)) if indices is None else indices
-        for idx in pool:
+        pool = list(range(len(db)) if indices is None else indices)
+        predictions = database_predictions(self.model, db, indices=pool)
+        for idx, predicted in zip(pool, predictions):
             graph = db[idx]
-            predicted = self.model.predict(graph)
             if predicted is None:
                 continue
             if label is not None and predicted != label:
@@ -106,10 +108,11 @@ class Explainer(ABC):
         Algorithm 1/3 pipelines.
         """
         from repro.config import GvexConfig
+        from repro.core.approx import database_predictions
         from repro.core.psum import summarize
 
         config = config if config is not None else GvexConfig()
-        predicted = [self.model.predict(g) for g in db]
+        predicted = database_predictions(self.model, db)
         groups: Dict[int, List[int]] = {}
         for idx, label in enumerate(predicted):
             if label is None:

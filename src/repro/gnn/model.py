@@ -252,27 +252,7 @@ class GnnClassifier:
         per-subset normalization pass is skipped — the frontier-reuse
         fast path. Results are identical either way.
         """
-        from repro.gnn.batch import (
-            batched_aggregation,
-            batched_subset_probas,
-            presorted_rows_probas,
-            rowwise_head,
-            stacked_layers,
-            stacked_readout,
-        )
-
-        def forward_group(X_b: np.ndarray, A_b: np.ndarray) -> np.ndarray:
-            Q_b = batched_aggregation(self.conv, self.gin_eps, A_b)
-            H = stacked_layers(
-                X_b,
-                Q_b,
-                self.weights,
-                self.biases,
-                self._act,
-                self.sage_self_weights if self.conv == "sage" else None,
-            )
-            pooled = stacked_readout(H, self.readout)
-            return softmax(rowwise_head(pooled, self.head_weight, self.head_bias))
+        from repro.gnn.batch import batched_subset_probas, presorted_rows_probas
 
         if presorted:
             return presorted_rows_probas(
@@ -280,7 +260,7 @@ class GnnClassifier:
                 np.asarray(node_subsets, dtype=np.intp),
                 self.n_classes,
                 lambda: self.features_for(graph),
-                forward_group,
+                self._forward_group,
                 cache,
             )
         return batched_subset_probas(
@@ -288,9 +268,107 @@ class GnnClassifier:
             node_subsets,
             self.n_classes,
             lambda: self.features_for(graph),
-            forward_group,
+            self._forward_group,
             cache,
         )
+
+    def _forward_group(self, X_b: np.ndarray, A_b: np.ndarray) -> np.ndarray:
+        """Stacked forward for one same-size batch: probas per slice.
+
+        ``A_b[i]`` must be the symmetrized 0/1 adjacency of slice ``i``;
+        each output row is bit-identical to the serial
+        :meth:`predict_proba` of that slice's graph (see
+        :mod:`repro.gnn.batch` for the kernel-parity argument).
+        """
+        from repro.gnn.batch import (
+            batched_aggregation,
+            rowwise_head,
+            stacked_layers,
+            stacked_readout,
+        )
+
+        Q_b = batched_aggregation(self.conv, self.gin_eps, A_b)
+        H = stacked_layers(
+            X_b,
+            Q_b,
+            self.weights,
+            self.biases,
+            self._act,
+            self.sage_self_weights if self.conv == "sage" else None,
+        )
+        pooled = stacked_readout(H, self.readout)
+        return softmax(rowwise_head(pooled, self.head_weight, self.head_bias))
+
+    def predict_proba_db(
+        self,
+        graphs: Sequence[Graph],
+        columnar=None,
+        indices: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Class distributions for a whole database in stacked forwards.
+
+        Groups the graphs by node count and runs one stacked
+        ``(B, n, ·)`` forward per size group instead of ``|G|`` serial
+        passes; row ``i`` is bit-identical to ``predict_proba(
+        graphs[i])`` (empty graphs get the uniform ``M(∅)`` prior).
+
+        ``columnar`` (a :class:`~repro.graphs.columnar.ColumnarDatabase`
+        or a zero-arg factory returning one) supplies adjacency batches
+        scattered straight from the shard's CSR arrays — no per-graph
+        dense ``symmetrized_adjacency`` build; ``indices`` locates each
+        graph in it (defaults to ``0..len(graphs)-1``). Graphs missing
+        from (or stale in) the columnar mirror fall back to the dense
+        memo per graph.
+        """
+        from repro.gnn.batch import scattered_adjacency_batch, symmetrized_adjacency
+
+        graphs = list(graphs)
+        out = np.empty((len(graphs), self.n_classes), dtype=np.float64)
+        sizes: Dict[int, List[int]] = {}
+        for i, g in enumerate(graphs):
+            sizes.setdefault(g.n_nodes, []).append(i)
+        col = None
+        if columnar is not None and any(size > 0 for size in sizes):
+            col = columnar() if callable(columnar) else columnar
+        for size, rows in sorted(sizes.items()):
+            if size == 0:
+                out[rows] = 1.0 / self.n_classes
+                continue
+            X_b = np.stack([self.features_for(graphs[i]) for i in rows])
+            slices = None
+            if col is not None:
+                slices = [
+                    col.fresh_slice(
+                        indices[i] if indices is not None else i, graphs[i]
+                    )
+                    for i in rows
+                ]
+                if any(sl is None for sl in slices):
+                    slices = None  # mutated member: dense fallback
+            if slices is not None:
+                A_b = scattered_adjacency_batch(slices)
+            else:
+                A_b = np.stack([symmetrized_adjacency(graphs[i]) for i in rows])
+            out[rows] = self._forward_group(X_b, A_b)
+        return out
+
+    def predict_db(
+        self,
+        graphs: Sequence[Graph],
+        columnar=None,
+        indices: Optional[Sequence[int]] = None,
+    ) -> List[Optional[int]]:
+        """Predicted labels for a whole database (``None`` for empty).
+
+        Same stacked evaluation as :meth:`predict_proba_db`; entry ``i``
+        equals ``predict(graphs[i])`` exactly.
+        """
+        graphs = list(graphs)
+        probas = self.predict_proba_db(graphs, columnar=columnar, indices=indices)
+        return [
+            None if g.n_nodes == 0 else int(np.argmax(probas[i]))
+            for i, g in enumerate(graphs)
+        ]
 
     def node_embeddings(self, graph: Graph) -> np.ndarray:
         """Last-layer node representations ``X^k`` (Eq. 6 diversity input)."""

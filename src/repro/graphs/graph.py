@@ -52,6 +52,7 @@ class Graph:
         "_radj",
         "edge_types",
         "_content_key",
+        "_sym_adj",
     )
 
     def __init__(
@@ -82,6 +83,10 @@ class Graph:
         #: digest; features excluded — matching never reads them);
         #: invalidated on mutation
         self._content_key: Optional[str] = None
+        #: memo for gnn.batch.symmetrized_adjacency (read-only dense
+        #: array shared across verifier launches); invalidated on
+        #: mutation like the content key
+        self._sym_adj: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -101,6 +106,7 @@ class Graph:
             )
         self.edge_types[key] = edge_type
         self._content_key = None
+        self._sym_adj = None
         self._adj[u].add(v)
         if self.directed:
             assert self._radj is not None
@@ -305,6 +311,17 @@ class Graph:
         for (u, v), t in self.edge_types.items():
             g.add_edge(u, v, t)
         return g
+
+    def __getstate__(self) -> Dict[str, object]:
+        # per-process memos: the content key is tiny (keep it), the
+        # dense adjacency memo is n^2 floats — rebuild instead of ship
+        state = {slot: getattr(self, slot) for slot in self.__slots__}
+        state["_sym_adj"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
 
     def __eq__(self, other: object) -> bool:
         """Structural equality under the identity node mapping."""

@@ -79,6 +79,20 @@ def popcount(words: np.ndarray) -> int:
     return sum(int(w).bit_count() for w in words)
 
 
+def bits_of(words: np.ndarray) -> np.ndarray:
+    """Set bit positions, ascending, as one vectorized extraction.
+
+    ``unpackbits`` over the little-endian byte view puts bit ``i`` at
+    byte-array position ``i``, so ``flatnonzero`` yields exactly the
+    :func:`iter_bits` sequence — one numpy pass instead of a Python
+    word/bit loop, which is what makes whole-frontier candidate
+    expansion cheap on small hosts.
+    """
+    return np.flatnonzero(
+        np.unpackbits(words.view(np.uint8), bitorder="little")
+    )
+
+
 __all__ = [
     "WORD_BITS",
     "n_words",
@@ -89,5 +103,6 @@ __all__ = [
     "clear_bit",
     "test_bit",
     "iter_bits",
+    "bits_of",
     "popcount",
 ]

@@ -6,15 +6,25 @@ fast backend splits that work into two reusable halves:
 
 * :class:`MatchContext` — per-*host* state: node-type and degree
   arrays, packed-bitset adjacency rows (out/in rows for directed
-  hosts), lazily built per-type node masks, and neighborhood
-  type-signature count arrays. Built once per host and shared by every
-  pattern matched against it.
+  hosts), per-edge-type row tables for typed candidate expansion, and
+  neighborhood type-signature count arrays. Built once per host and
+  shared by every pattern matched against it.
 * :class:`MatchPlan` — per-*pattern* state: the reference matching
   order, and for each position the edge/non-edge constraints against
   previously mapped positions plus the degree and neighborhood
   type-signature requirements used for pruning. Built once per
   canonical pattern and shared across a whole host database
   (database-batched ``PMatch``).
+
+Context construction runs on the columnar CSR layout
+(``repro.graphs.columnar``, docs/columnar.md): type and degree arrays
+are zero-copy slices of the group arrays, packed rows come from the
+group's shared row table (or one ``bitwise_or.at`` scatter over the
+slice), and signature counts are a masked ``bincount`` — single
+vectorized passes instead of per-host Python packing loops. Hosts that
+never joined a database go through the same code path via an on-the-fly
+single-graph slice, so the per-edge Python loops only remain as the
+fallback for stale slices and for cross-directedness signature keys.
 
 Hosts above :data:`MatchContext.LAZY_ROW_THRESHOLD` nodes build
 adjacency rows on demand (only nodes actually mapped during search pay
@@ -34,6 +44,13 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.exceptions import MatchingError
+from repro.graphs.columnar import (
+    KIND_ALL,
+    KIND_IN,
+    KIND_OUT,
+    GraphSlice,
+    columnar_slice_of,
+)
 from repro.graphs.graph import Graph
 from repro.graphs.pattern import Pattern
 from repro.matching import bitset
@@ -110,31 +127,52 @@ class MatchContext:
         "directed",
         "node_types",
         "degrees",
+        "_slice",
         "_all_rows",
         "_out_rows",
         "_in_rows",
         "_lazy_all",
         "_lazy_out",
         "_lazy_in",
+        "_row_ids",
+        "_typed_rows",
         "_type_masks",
         "_sig_counts",
         "_type_counts",
+        "_compat_cache",
+        "_int_cache",
     )
 
-    def __init__(self, graph: Graph) -> None:
+    def __init__(
+        self, graph: Graph, columnar: Optional[GraphSlice] = None
+    ) -> None:
         self.graph = graph
         n = graph.n_nodes
         self.n = n
         self.words = bitset.n_words(n)
         self.directed = graph.directed
-        self.node_types = np.asarray(graph.node_types, dtype=np.int64)
-        self.degrees = np.fromiter(
-            (graph.degree(v) for v in range(n)), dtype=np.int64, count=n
-        )
         self._type_masks: Dict[int, np.ndarray] = {}
         self._sig_counts: Dict[SigKey, np.ndarray] = {}
         self._type_counts: Optional[Dict[int, int]] = None
+        self._row_ids: Dict[str, np.ndarray] = {}
+        self._typed_rows: Dict[Tuple[str, int], np.ndarray] = {}
+        self._compat_cache: Dict[str, List[np.ndarray]] = {}
+        self._int_cache: Dict[object, object] = {}
         eager = n <= self.LAZY_ROW_THRESHOLD
+        if columnar is not None and columnar.content_key != graph.content_key():
+            columnar = None  # stale slice: the graph mutated since the build
+        if columnar is None and eager:
+            columnar = columnar_slice_of(graph)
+        self._slice = columnar
+        if columnar is not None:
+            # zero-copy views of the columnar group arrays
+            self.node_types = columnar.node_type
+            self.degrees = columnar.degrees()
+        else:
+            self.node_types = np.asarray(graph.node_types, dtype=np.int64)
+            self.degrees = np.fromiter(
+                (graph.degree(v) for v in range(n)), dtype=np.int64, count=n
+            )
         self._all_rows: Optional[np.ndarray] = None
         self._out_rows: Optional[np.ndarray] = None
         self._in_rows: Optional[np.ndarray] = None
@@ -147,7 +185,43 @@ class MatchContext:
     # ------------------------------------------------------------------
     # adjacency rows
     # ------------------------------------------------------------------
+    def _slice_row_ids(self, kind: str) -> np.ndarray:
+        """Memoized per-entry source-node ids of one CSR flavor."""
+        rid = self._row_ids.get(kind)
+        if rid is None:
+            assert self._slice is not None
+            rid = self._slice.row_ids(kind)
+            self._row_ids[kind] = rid
+        return rid
+
+    def _scatter_rows(self, kind: str) -> np.ndarray:
+        """Packed ``(n, words)`` rows from one CSR flavor.
+
+        Reuses the columnar group's shared row table when it exists
+        (zero-copy view); otherwise one ``bitwise_or.at`` scatter over
+        the slice arrays.
+        """
+        sl = self._slice
+        assert sl is not None
+        rows = sl.rows(kind)
+        if rows is not None and rows.shape[1] == self.words:
+            return rows
+        table = np.zeros((self.n, self.words), dtype=np.uint64)
+        cols = sl.indices(kind)
+        np.bitwise_or.at(
+            table,
+            (self._slice_row_ids(kind), cols >> np.int64(6)),
+            np.uint64(1) << (cols & np.int64(63)).astype(np.uint64),
+        )
+        return table
+
     def _build_rows(self) -> None:
+        if self._slice is not None:
+            self._all_rows = self._scatter_rows(KIND_ALL)
+            if self.directed:
+                self._out_rows = self._scatter_rows(KIND_OUT)
+                self._in_rows = self._scatter_rows(KIND_IN)
+            return
         g = self.graph
         W = self.words
         all_rows = np.zeros((self.n, W), dtype=np.uint64)
@@ -220,6 +294,13 @@ class MatchContext:
         counts = self._sig_counts.get(key)
         if counts is None:
             direction, etype, ntype = key
+            kind = self._typed_kind(direction)
+            if self._slice is not None and kind is not None:
+                # a view of the group-level table: one masked bincount
+                # covers every graph in the label group at once
+                counts = self._slice.sig_counts(kind, etype, ntype)
+                self._sig_counts[key] = counts
+                return counts
             counts = np.zeros(self.n, dtype=np.int64)
             for (u, v), t in self.graph.edge_types.items():
                 if t != etype:
@@ -238,6 +319,51 @@ class MatchContext:
             self._sig_counts[key] = counts
         return counts
 
+    def _typed_kind(self, direction: str) -> Optional[str]:
+        """CSR flavor carrying reliable edge types for one direction.
+
+        ``None`` when the slice cannot answer the key bit-identically:
+        the undirected key on a directed host (the deduplicated union
+        drops types) and directional keys on an undirected host (the
+        reference counts canonical orientations only there) both fall
+        back to the per-edge loop.
+        """
+        if direction == "":
+            return KIND_ALL if not self.directed else None
+        if not self.directed:
+            return None
+        return KIND_OUT if direction == "o" else KIND_IN
+
+    def typed_row_table(
+        self, direction: str, etype: int
+    ) -> Optional[np.ndarray]:
+        """Packed rows restricted to edges of one type, or ``None``.
+
+        Row ``v`` holds the neighbors of ``v`` (in ``direction``)
+        joined by an edge of type ``etype`` — ANDing a candidate mask
+        with one such row applies the edge-type constraint to the whole
+        candidate frontier at once. Only available on eager contexts
+        built from a fresh columnar slice whose flavor carries types
+        (see :meth:`_typed_kind`); memoized per ``(direction, etype)``.
+        """
+        key = (direction, etype)
+        table = self._typed_rows.get(key)
+        if table is not None:
+            return table
+        kind = self._typed_kind(direction)
+        if kind is None or self._slice is None or self._all_rows is None:
+            return None
+        sel = self._slice.etypes(kind) == etype
+        cols = self._slice.indices(kind)[sel]
+        table = np.zeros((self.n, self.words), dtype=np.uint64)
+        np.bitwise_or.at(
+            table,
+            (self._slice_row_ids(kind)[sel], cols >> np.int64(6)),
+            np.uint64(1) << (cols & np.int64(63)).astype(np.uint64),
+        )
+        self._typed_rows[key] = table
+        return table
+
     def compat_mask(self, plan: "MatchPlan", pos: int) -> np.ndarray:
         """Packed candidate mask for one plan position.
 
@@ -253,6 +379,76 @@ class MatchContext:
                 break
             ok &= self.sig_counts(key) >= need
         return bitset.from_bool(ok)
+
+    def compat_masks(self, plan: "MatchPlan") -> List[np.ndarray]:
+        """All per-position candidate masks for one plan, memoized.
+
+        Keyed by the plan's pattern content digest — the masks depend
+        only on host content (this context) and pattern content, so
+        repeated matches of the same pattern against this host skip
+        the whole mask derivation. Callers must treat the returned
+        arrays as read-only.
+        """
+        key = plan.plan_key()
+        masks = self._compat_cache.get(key)
+        if masks is None:
+            masks = [
+                self.compat_mask(plan, i) for i in range(len(plan.order))
+            ]
+            self._compat_cache[key] = masks
+        return masks
+
+    # ------------------------------------------------------------------
+    # single-word tables (hosts of <= 64 nodes)
+    # ------------------------------------------------------------------
+    def int_rows(self, kind: str) -> Optional[List[int]]:
+        """Adjacency rows as plain Python ints, or ``None``.
+
+        Only single-word eager hosts qualify; the int form lets the
+        matcher's inner loop run on machine-word ``&``/``~`` instead
+        of per-candidate numpy calls, which is what makes the fast
+        backend win on the small hosts the old ``SMALL_HOST_NODES``
+        threshold used to delegate to the reference matcher.
+        """
+        if self.words != 1:
+            return None
+        out = self._int_cache.get(kind)
+        if out is None:
+            rows = {
+                "all": self._all_rows,
+                "out": self._out_rows,
+                "in": self._in_rows,
+            }[kind]
+            if rows is None:
+                return None
+            out = rows[:, 0].tolist()
+            self._int_cache[kind] = out
+        return out
+
+    def int_typed_rows(self, direction: str, etype: int) -> Optional[List[int]]:
+        """One typed row table as Python ints (single-word hosts)."""
+        if self.words != 1:
+            return None
+        key = ("typed", direction, etype)
+        out = self._int_cache.get(key)
+        if out is None:
+            table = self.typed_row_table(direction, etype)
+            if table is None:
+                return None
+            out = table[:, 0].tolist()
+            self._int_cache[key] = out
+        return out
+
+    def int_compat(self, plan: "MatchPlan") -> Optional[List[int]]:
+        """Per-position candidate masks as Python ints, memoized."""
+        if self.words != 1:
+            return None
+        key = ("compat", plan.plan_key())
+        out = self._int_cache.get(key)
+        if out is None:
+            out = [int(m[0]) for m in self.compat_masks(plan)]
+            self._int_cache[key] = out
+        return out
 
 
 class MatchPlan:
@@ -275,10 +471,12 @@ class MatchPlan:
         "nonadj",
         "dir_cons",
         "type_needs",
+        "_key",
     )
 
     def __init__(self, pattern: Pattern) -> None:
         self.pattern = pattern
+        self._key: Optional[str] = None
         p = pattern.graph
         order = matching_order(p)
         self.order = order
@@ -336,6 +534,12 @@ class MatchPlan:
         for t in self.types:
             needs[t] = needs.get(t, 0) + 1
         self.type_needs = needs
+
+    def plan_key(self) -> str:
+        """Pattern content digest — keys per-host mask caches."""
+        if self._key is None:
+            self._key = self.pattern.graph.content_key()
+        return self._key
 
     def host_can_match(self, ctx: MatchContext) -> bool:
         """Cheap prefilter: does the host have enough nodes per type?"""

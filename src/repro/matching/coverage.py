@@ -99,6 +99,8 @@ def pmatch(
     match_cap: int = 10_000,
     backend: Optional[str] = None,
     host_keys: Optional[Sequence[Optional[str]]] = None,
+    columnar=None,
+    indices: Optional[Sequence[int]] = None,
 ) -> List[PatternCoverage]:
     """Database-batched ``PMatch``: one pattern vs a whole host group.
 
@@ -108,8 +110,11 @@ def pmatch(
     process-wide plan cache, and hosts failing the type-count
     prefilter skip VF2 entirely. ``host_keys`` lets callers that
     already computed content keys (e.g. :class:`CoverageIndex`) avoid
-    re-hashing. Results are per host, in host order, identical to
-    per-host :func:`match_coverage` calls.
+    re-hashing; ``columnar`` (a ``ColumnarDatabase`` or lazy factory,
+    with ``indices`` locating each host in it) routes cache-miss
+    context builds through the group's shared CSR arrays. Results are
+    per host, in host order, identical to per-host
+    :func:`match_coverage` calls.
     """
     resolved = resolve_backend(backend)
     if resolved == MATCH_REFERENCE:
@@ -118,7 +123,12 @@ def pmatch(
             for h, host in enumerate(hosts)
         ]
     local = PLAN_CACHE.coverage_many(
-        pattern, hosts, match_cap, host_keys=host_keys
+        pattern,
+        hosts,
+        match_cap,
+        host_keys=host_keys,
+        columnar=columnar,
+        indices=indices,
     )
     return [
         PatternCoverage(
@@ -156,6 +166,20 @@ class CoverageIndex:
             if self.backend == MATCH_REFERENCE
             else [graph_content_key(g) for g in self.hosts]
         )
+        self._columnar = None
+
+    def _host_columnar(self):
+        """Lazy columnar mirror of the host group.
+
+        Passed to ``pmatch`` as a factory, so the build only happens
+        when some host context genuinely misses the plan cache (steady
+        state serve traffic pays one memoized-attr read).
+        """
+        if self._columnar is None:
+            from repro.graphs.columnar import ColumnarDatabase
+
+            self._columnar = ColumnarDatabase.from_graphs(self.hosts)
+        return self._columnar
 
     # ------------------------------------------------------------------
     @property
@@ -192,6 +216,7 @@ class CoverageIndex:
                 self.match_cap,
                 backend=self.backend,
                 host_keys=self._host_keys,
+                columnar=self._host_columnar,
             )
             nodes: Set[NodeRef] = set()
             edges: Set[EdgeRef] = set()

@@ -178,14 +178,109 @@ def _find_isomorphisms_reference(
 # ----------------------------------------------------------------------
 # fast backend: bitset VF2 over a host MatchContext
 # ----------------------------------------------------------------------
+def _single_word_state(ctx: MatchContext, mp: MatchPlan):
+    """Int tables for the single-word search, memoized on the context.
 
-#: ad-hoc fast-backend calls on hosts at or below this node count run
-#: the reference search instead: word-wise numpy ops cost more than
-#: set probes on graphs this small, and enumeration is identical either
-#: way. Calls carrying a precomputed context/plan (the plan cache,
-#: batched pmatch) always take the bitset path — their setup is
-#: amortized across calls.
-SMALL_HOST_NODES = 24
+    Per position a list of ``(prev_pos, row_table, invert)`` ops:
+    ``mask &= table[image]`` (or its complement) applies one edge /
+    non-edge / edge-type constraint to the whole candidate frontier.
+    ``None`` when the context cannot serve typed int rows (lazy
+    contexts) — the caller falls back to the generic word-array path.
+    """
+    key = ("sw", mp.plan_key())
+    state = ctx._int_cache.get(key)
+    if state is not None:
+        return None if state == "n/a" else state
+    compat = ctx.int_compat(mp)
+    ops: List[List[Tuple[int, List[int], bool]]] = []
+    ok = compat is not None
+    if ok and ctx.directed:
+        in_rows = ctx.int_rows("in")
+        out_rows = ctx.int_rows("out")
+        ok = in_rows is not None and out_rows is not None
+        for cons in mp.dir_cons if ok else ():
+            pos_ops: List[Tuple[int, List[int], bool]] = []
+            for j, fwd, bwd in cons:
+                # hv -> hq of the pattern's type iff pv -> qv
+                if fwd is not None:
+                    ftbl = ctx.int_typed_rows("i", fwd)
+                    ok = ftbl is not None
+                    if not ok:
+                        break
+                    pos_ops.append((j, ftbl, False))
+                else:
+                    pos_ops.append((j, in_rows, True))
+                # hq -> hv of the pattern's type iff qv -> pv
+                if bwd is not None:
+                    btbl = ctx.int_typed_rows("o", bwd)
+                    ok = btbl is not None
+                    if not ok:
+                        break
+                    pos_ops.append((j, btbl, False))
+                else:
+                    pos_ops.append((j, out_rows, True))
+            if not ok:
+                break
+            ops.append(pos_ops)
+    elif ok:
+        all_rows = ctx.int_rows("all")
+        ok = all_rows is not None
+        for adj, nonadj in zip(mp.adj, mp.nonadj) if ok else ():
+            pos_ops = []
+            for j, etype in adj:
+                tbl = ctx.int_typed_rows("", etype)
+                ok = tbl is not None
+                if not ok:
+                    break
+                pos_ops.append((j, tbl, False))
+            if not ok:
+                break
+            pos_ops.extend((j, all_rows, True) for j in nonadj)
+            ops.append(pos_ops)
+    if not ok:
+        ctx._int_cache[key] = "n/a"
+        return None
+    state = (compat, ops)
+    ctx._int_cache[key] = state
+    return state
+
+
+def _single_word_search(
+    mp: MatchPlan, state, limit: Optional[int]
+) -> Iterator[Mapping]:
+    """Backtracking over Python machine-word ints (<= 64-node hosts).
+
+    Bit extraction ascends, so the emitted matchings are exactly the
+    reference (and generic fast) enumeration sequence.
+    """
+    compat, ops = state
+    order = mp.order
+    k = len(order)
+    images = [0] * k
+    used = 0
+    count = 0
+
+    def backtrack(pos: int) -> Iterator[Mapping]:
+        nonlocal used, count
+        if pos == k:
+            count += 1
+            yield {order[i]: images[i] for i in range(k)}
+            return
+        mask = compat[pos] & ~used
+        for j, tbl, invert in ops[pos]:
+            row = tbl[images[j]]
+            mask &= ~row if invert else row
+        while mask:
+            if limit is not None and count >= limit:
+                return
+            low = mask & -mask
+            mask ^= low
+            images[pos] = low.bit_length() - 1
+            used |= low
+            yield from backtrack(pos + 1)
+            used ^= low
+
+    yield from backtrack(0)
 
 
 def _find_isomorphisms_fast(
@@ -201,20 +296,31 @@ def _find_isomorphisms_fast(
         return
     if pattern.graph.n_nodes > graph.n_nodes:
         return
-    if (
-        context is None
-        and plan is None
-        and graph.n_nodes <= SMALL_HOST_NODES
-    ):
-        yield from _find_isomorphisms_reference(pattern, graph, limit)
-        return
+    if context is None or plan is None:
+        # ad-hoc call: share host contexts and per-content plans through
+        # the process-wide cache (deferred import; plan_cache imports
+        # this module). exact_plan never canonicalizes, so the calls
+        # canonicalization itself makes land here without recursing.
+        from repro.matching.plan_cache import PLAN_CACHE
 
-    ctx = context if context is not None else MatchContext(graph)
-    mp = plan if plan is not None else MatchPlan(pattern)
+        if context is None:
+            context = PLAN_CACHE.context(graph)[0]
+        if plan is None:
+            plan = PLAN_CACHE.exact_plan(pattern)
+
+    ctx = context
+    mp = plan
     if not mp.host_can_match(ctx):
         return
+    if ctx.words == 1:
+        # single-word host (<= 64 nodes): machine-word ints beat numpy
+        # call overhead by an order of magnitude at this size
+        state = _single_word_state(ctx, mp)
+        if state is not None:
+            yield from _single_word_search(mp, state, limit)
+            return
     k = len(mp.order)
-    compat = [ctx.compat_mask(mp, i) for i in range(k)]
+    compat = ctx.compat_masks(mp)
     edge_types = graph.edge_types
     directed = graph.directed
     used = bitset.zeros(ctx.n)
@@ -222,26 +328,102 @@ def _find_isomorphisms_fast(
     count = 0
     scratch = np.empty_like(used)
 
+    # Per-position typed constraint rows: ANDing the typed row of a
+    # mapped image applies the edge-existence *and* edge-type
+    # constraint to the whole candidate frontier in one word op. The
+    # typed tables drop exactly the candidates the per-candidate
+    # `edge_types_ok` probe would reject, so the enumeration sequence
+    # is unchanged. Lazy-row contexts (hosts above the row-table
+    # threshold) have no typed tables and keep the dict-probe path.
+    typed_ok = True
+    typed_adj: List[List[Tuple[int, np.ndarray]]] = []
+    typed_dir: List[
+        List[Tuple[int, Optional[np.ndarray], Optional[np.ndarray]]]
+    ] = []
+    if directed:
+        for cons in mp.dir_cons:
+            rows_d: List[
+                Tuple[int, Optional[np.ndarray], Optional[np.ndarray]]
+            ] = []
+            for j, fwd, bwd in cons:
+                ftbl = (
+                    ctx.typed_row_table("i", fwd) if fwd is not None else None
+                )
+                btbl = (
+                    ctx.typed_row_table("o", bwd) if bwd is not None else None
+                )
+                if (fwd is not None and ftbl is None) or (
+                    bwd is not None and btbl is None
+                ):
+                    typed_ok = False
+                    break
+                rows_d.append((j, ftbl, btbl))
+            if not typed_ok:
+                break
+            typed_dir.append(rows_d)
+    else:
+        for cons in mp.adj:
+            rows_u: List[Tuple[int, np.ndarray]] = []
+            for j, etype in cons:
+                tbl = ctx.typed_row_table("", etype)
+                if tbl is None:
+                    typed_ok = False
+                    break
+                rows_u.append((j, tbl))
+            if not typed_ok:
+                break
+            typed_adj.append(rows_u)
+
     def candidate_mask(pos: int) -> np.ndarray:
         mask = compat[pos].copy()
         if directed:
-            for j, fwd, bwd in mp.dir_cons[pos]:
-                hq = images[j]
-                # hv -> hq required iff the pattern has pv -> qv
-                row = ctx.in_row(hq)
-                if fwd is not None:
-                    np.bitwise_and(mask, row, out=mask)
-                else:
-                    np.bitwise_and(mask, np.bitwise_not(row, out=scratch), out=mask)
-                # hq -> hv required iff the pattern has qv -> pv
-                row = ctx.out_row(hq)
-                if bwd is not None:
-                    np.bitwise_and(mask, row, out=mask)
-                else:
-                    np.bitwise_and(mask, np.bitwise_not(row, out=scratch), out=mask)
+            if typed_ok:
+                for j, ftbl, btbl in typed_dir[pos]:
+                    hq = images[j]
+                    # hv -> hq of the pattern's type iff pv -> qv
+                    if ftbl is not None:
+                        np.bitwise_and(mask, ftbl[hq], out=mask)
+                    else:
+                        np.bitwise_and(
+                            mask,
+                            np.bitwise_not(ctx.in_row(hq), out=scratch),
+                            out=mask,
+                        )
+                    # hq -> hv of the pattern's type iff qv -> pv
+                    if btbl is not None:
+                        np.bitwise_and(mask, btbl[hq], out=mask)
+                    else:
+                        np.bitwise_and(
+                            mask,
+                            np.bitwise_not(ctx.out_row(hq), out=scratch),
+                            out=mask,
+                        )
+            else:
+                for j, fwd, bwd in mp.dir_cons[pos]:
+                    hq = images[j]
+                    # hv -> hq required iff the pattern has pv -> qv
+                    row = ctx.in_row(hq)
+                    if fwd is not None:
+                        np.bitwise_and(mask, row, out=mask)
+                    else:
+                        np.bitwise_and(
+                            mask, np.bitwise_not(row, out=scratch), out=mask
+                        )
+                    # hq -> hv required iff the pattern has qv -> pv
+                    row = ctx.out_row(hq)
+                    if bwd is not None:
+                        np.bitwise_and(mask, row, out=mask)
+                    else:
+                        np.bitwise_and(
+                            mask, np.bitwise_not(row, out=scratch), out=mask
+                        )
         else:
-            for j, _ in mp.adj[pos]:
-                np.bitwise_and(mask, ctx.all_row(images[j]), out=mask)
+            if typed_ok:
+                for j, tbl in typed_adj[pos]:
+                    np.bitwise_and(mask, tbl[images[j]], out=mask)
+            else:
+                for j, _ in mp.adj[pos]:
+                    np.bitwise_and(mask, ctx.all_row(images[j]), out=mask)
             for j in mp.nonadj[pos]:
                 np.bitwise_and(
                     mask,
@@ -273,10 +455,11 @@ def _find_isomorphisms_fast(
             count += 1
             yield {mp.order[i]: images[i] for i in range(k)}
             return
-        for hv in bitset.iter_bits(candidate_mask(pos)):
+        # one vectorized extraction of the whole (ascending) frontier
+        for hv in bitset.bits_of(candidate_mask(pos)).tolist():
             if limit is not None and count >= limit:
                 return
-            if not edge_types_ok(pos, hv):
+            if not typed_ok and not edge_types_ok(pos, hv):
                 continue
             images[pos] = hv
             bitset.set_bit(used, hv)

@@ -37,6 +37,7 @@ from collections import OrderedDict
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.exceptions import MatchingError, ValidationError
+from repro.graphs.columnar import ColumnarDatabase, GraphSlice
 from repro.graphs.graph import Graph
 from repro.graphs.pattern import Pattern
 from repro.matching.context import MatchContext, MatchPlan, graph_content_key
@@ -78,6 +79,12 @@ class MatchPlanCache:
         self._content_canon: Dict[str, Tuple[Pattern, CanonKey]] = {}
         self._plans: Dict[CanonKey, MatchPlan] = {}
         self._contexts: "OrderedDict[str, MatchContext]" = OrderedDict()
+        #: ad-hoc plans keyed by exact pattern *content* — the un-
+        #: canonicalized fast path (``find_isomorphisms`` without a
+        #: carried plan) must plan the caller's own node ids, and
+        #: resolving through ``canon`` could return an isomorphic
+        #: representative with different ids
+        self._exact_plans: "OrderedDict[str, MatchPlan]" = OrderedDict()
         self._coverage: "OrderedDict[Tuple[CanonKey, str, int], LocalCoverage]" = (
             OrderedDict()
         )
@@ -89,6 +96,10 @@ class MatchPlanCache:
         #: asserts a snapshot-warmed worker records zero plan builds
         self.plan_builds = 0
         self.context_builds = 0
+        #: counted separately from ``plan_builds``: the warm-tier boot
+        #: contract asserts zero *canonical* plan builds, and ad-hoc
+        #: plans are a different population
+        self.exact_plan_builds = 0
 
     # ------------------------------------------------------------------
     # keys and shared precomputation
@@ -178,16 +189,51 @@ class MatchPlanCache:
                 self.plan_builds += 1
         return canon, key, plan
 
+    def exact_plan(self, pattern: Pattern) -> MatchPlan:
+        """Ad-hoc (cached) plan for *this* pattern's node ids.
+
+        Unlike :meth:`plan` there is no canonical resolution: the plan
+        is keyed by the pattern graph's content key and always maps the
+        caller's own node ids, which is what un-batched
+        ``find_isomorphisms`` calls need. Never recurses into
+        ``canon``/``are_isomorphic``, so the ad-hoc fast path can call
+        it from inside canonicalization itself.
+        """
+        content = graph_content_key(pattern.graph)
+        with self._lock:
+            plan = self._exact_plans.get(content)
+            if plan is not None:
+                self._exact_plans.move_to_end(content)
+                return plan
+        plan = MatchPlan(pattern)  # order derivation outside the lock
+        with self._lock:
+            existing = self._exact_plans.get(content)
+            if existing is not None:
+                return existing
+            self._exact_plans[content] = plan
+            self.exact_plan_builds += 1
+            while len(self._exact_plans) > self.max_patterns:
+                self._exact_plans.popitem(last=False)
+        return plan
+
     def context(
-        self, host: Graph, host_key: Optional[str] = None
+        self,
+        host: Graph,
+        host_key: Optional[str] = None,
+        columnar: Optional[GraphSlice] = None,
     ) -> Tuple[MatchContext, str]:
-        """The host's (cached) match context and its content key."""
+        """The host's (cached) match context and its content key.
+
+        ``columnar`` optionally carries the host's slice of a columnar
+        group so a cache miss builds the context from the shared CSR
+        arrays (``MatchContext`` itself verifies slice freshness).
+        """
         if host_key is None:
             host_key = graph_content_key(host)
         with self._lock:
             ctx = self._contexts.get(host_key)
             if ctx is None:
-                ctx = MatchContext(host)
+                ctx = MatchContext(host, columnar=columnar)
                 self._contexts[host_key] = ctx
                 self.context_builds += 1
                 while len(self._contexts) > self.max_contexts:
@@ -195,6 +241,46 @@ class MatchPlanCache:
             else:
                 self._contexts.move_to_end(host_key)
         return ctx, host_key
+
+    def contexts_for_group(
+        self,
+        hosts: Sequence[Graph],
+        host_keys: Optional[Sequence[Optional[str]]] = None,
+        columnar: Optional[ColumnarDatabase] = None,
+        indices: Optional[Sequence[int]] = None,
+    ) -> List[MatchContext]:
+        """Contexts for a whole host group in one shot.
+
+        With a :class:`ColumnarDatabase` the missing contexts are built
+        from per-graph slices that share the group's packed-row table —
+        one vectorized scatter covers every host in the group instead
+        of per-host packing loops. ``indices[i]`` is ``hosts[i]``'s
+        index in the columnar database (defaults to ``i``). Cached
+        contexts are returned as-is, so the result is identical to
+        per-host :meth:`context` calls.
+        """
+        col = self._resolve_columnar(columnar)
+        out: List[MatchContext] = []
+        for i, host in enumerate(hosts):
+            key = host_keys[i] if host_keys is not None else None
+            sl = None
+            if col is not None:
+                sl = col.fresh_slice(
+                    indices[i] if indices is not None else i, host
+                )
+            out.append(self.context(host, key, columnar=sl)[0])
+        return out
+
+    @staticmethod
+    def _resolve_columnar(columnar) -> Optional[ColumnarDatabase]:
+        """Accept a ColumnarDatabase or a lazy zero-arg factory.
+
+        Batched callers pass a factory so the columnar build is only
+        paid when some context is genuinely missing from the cache.
+        """
+        if columnar is None or isinstance(columnar, ColumnarDatabase):
+            return columnar
+        return columnar()
 
     # ------------------------------------------------------------------
     # cached match results
@@ -287,14 +373,19 @@ class MatchPlanCache:
         hosts: Sequence[Graph],
         match_cap: int = 10_000,
         host_keys: Optional[Sequence[Optional[str]]] = None,
+        columnar=None,
+        indices: Optional[Sequence[int]] = None,
     ) -> List[LocalCoverage]:
         """Batched :meth:`coverage`: one pattern vs a host group.
 
         The database-batched ``PMatch`` core: canonical identity and
         match plan resolve once, cached per-host coverage is read
         under one lock acquisition, and only novel (pattern, host)
-        pairs enumerate (prefiltered by type counts). Identical, host
-        for host, to per-host :meth:`coverage` calls.
+        pairs enumerate (prefiltered by type counts). ``columnar`` (a
+        :class:`ColumnarDatabase` or lazy factory, with ``indices[i]``
+        locating ``hosts[i]`` in it) routes cache-miss context builds
+        through the group's columnar arrays. Identical, host for host,
+        to per-host :meth:`coverage` calls.
         """
         keys = [
             host_keys[i]
@@ -312,8 +403,14 @@ class MatchPlanCache:
                     self.hits += 1
         todo = [i for i, cov in enumerate(out) if cov is None]
         empty: LocalCoverage = (frozenset(), frozenset())
+        col = self._resolve_columnar(columnar) if todo else None
         for i in todo:
-            ctx, _ = self.context(hosts[i], keys[i])
+            sl = None
+            if col is not None:
+                sl = col.fresh_slice(
+                    indices[i] if indices is not None else i, hosts[i]
+                )
+            ctx, _ = self.context(hosts[i], keys[i], columnar=sl)
             if not plan.host_can_match(ctx):
                 out[i] = empty
                 continue
@@ -335,6 +432,8 @@ class MatchPlanCache:
         pattern: Pattern,
         hosts: Sequence[Graph],
         host_keys: Optional[Sequence[Optional[str]]] = None,
+        columnar=None,
+        indices: Optional[Sequence[int]] = None,
     ) -> List[bool]:
         """Batched containment: one pattern vs a host group.
 
@@ -342,7 +441,8 @@ class MatchPlanCache:
         canonical identity and plan resolve once, cached answers for
         the whole group are read under a single lock acquisition, and
         only genuinely novel (pattern, host) pairs run VF2 (with the
-        type-count prefilter applied first). Posting builds in
+        type-count prefilter applied first). ``columnar``/``indices``
+        as in :meth:`coverage_many`. Posting builds in
         ``query/index.py`` call this per pattern per tier.
         """
         keys = [
@@ -360,8 +460,14 @@ class MatchPlanCache:
                     out[i] = cached
                     self.hits += 1
         todo = [i for i, flag in enumerate(out) if flag is None]
+        col = self._resolve_columnar(columnar) if todo else None
         for i in todo:
-            ctx, _ = self.context(hosts[i], keys[i])
+            sl = None
+            if col is not None:
+                sl = col.fresh_slice(
+                    indices[i] if indices is not None else i, hosts[i]
+                )
+            ctx, _ = self.context(hosts[i], keys[i], columnar=sl)
             if not plan.host_can_match(ctx):
                 out[i] = False
                 continue
@@ -529,6 +635,7 @@ class MatchPlanCache:
         self._identity.clear()
         self._content_canon.clear()
         self._plans.clear()
+        self._exact_plans.clear()
         self._contexts.clear()
         self._coverage.clear()
         self._contains.clear()
@@ -540,6 +647,7 @@ class MatchPlanCache:
             self._identity.clear()
             self._content_canon.clear()
             self._plans.clear()
+            self._exact_plans.clear()
             self._contexts.clear()
             self._coverage.clear()
             self._contains.clear()
@@ -547,12 +655,14 @@ class MatchPlanCache:
             self.misses = 0
             self.plan_builds = 0
             self.context_builds = 0
+            self.exact_plan_builds = 0
 
     def stats(self) -> Dict[str, int]:
         """Cache occupancy and hit counters (for benches / diagnostics)."""
         with self._lock:
             return {
                 "plans": len(self._plans),
+                "exact_plans": len(self._exact_plans),
                 "contexts": len(self._contexts),
                 "coverage_entries": len(self._coverage),
                 "contains_entries": len(self._contains),
@@ -560,6 +670,7 @@ class MatchPlanCache:
                 "misses": self.misses,
                 "plan_builds": self.plan_builds,
                 "context_builds": self.context_builds,
+                "exact_plan_builds": self.exact_plan_builds,
             }
 
 

@@ -17,10 +17,11 @@ lock). This package is now the *only* scheduling layer:
 * :class:`BoundedWorkQueue` gives the serving layer admission control
   and backpressure (``repro.runtime.workqueue``).
 
-``repro.core.parallel`` and ``repro.core.distributed`` survive as
-deprecated wrappers over this package. The architecture is documented
-in ``docs/runtime.md``; the exported surface is snapshotted by
-``scripts/check_api_surface.py``.
+The deprecated ``repro.core.parallel`` and ``repro.core.distributed``
+wrappers have been removed after their deprecation cycle — build a
+plan and pick an executor instead (docs/runtime.md has the migration
+table). The architecture is documented in ``docs/runtime.md``; the
+exported surface is snapshotted by ``scripts/check_api_surface.py``.
 """
 
 from repro.runtime.executors import (

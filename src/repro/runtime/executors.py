@@ -37,7 +37,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.config import SCOPE_PER_GROUP, GvexConfig
 from repro.exceptions import ValidationError, WorkerCrashError
-from repro.core.approx import ApproxGvex, explain_graph
+from repro.core.approx import ApproxGvex, database_predictions, explain_graph
 from repro.gnn.model import GnnClassifier
 from repro.graphs.database import GraphDatabase
 from repro.graphs.view import ExplanationSubgraph, ViewSet
@@ -107,13 +107,21 @@ class WorkerState:
         """Explain every task of one shard as a single warm loop."""
         out: List[TaskResult] = []
         if self.method == APPROX_METHOD:
-            for index in shard.indices:
+            # one stacked forward over the shard (fed from the
+            # database's columnar CSR mirror) replaces the per-graph
+            # M(G) pass each verifier launch used to pay; predictions
+            # are the model's own, bit-identical to per-graph predict
+            predictions = database_predictions(
+                self.model, self.db, indices=list(shard.indices)
+            )
+            for index, prediction in zip(shard.indices, predictions):
                 result = explain_graph(
                     self.model,
                     self.db[index],
                     shard.label,
                     self.config,
                     graph_index=index,
+                    predicted=prediction,
                 )
                 self.inference_calls += result.inference_calls
                 out.append(

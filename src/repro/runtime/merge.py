@@ -10,7 +10,7 @@ weighted-set-cover greedy sees the merged subgraph set.
 
 These functions are the parent-side contract of
 :class:`~repro.runtime.executors.ShardedExecutor`; they moved here
-from ``repro.core.distributed``, which remains a deprecated wrapper.
+from the since-removed ``repro.core.distributed`` wrapper.
 """
 
 from __future__ import annotations

@@ -208,7 +208,9 @@ def build_plan(
             f"GvexConfig, not constructor overrides {sorted(explainer_kwargs)}"
         )
     if predicted is None:
-        predicted = [model.predict(g) for g in db]
+        from repro.core.approx import database_predictions
+
+        predicted = database_predictions(model, db)
 
     groups: Dict[int, List[int]] = {}
     for i, l in enumerate(predicted):

@@ -75,3 +75,33 @@ def trained_model(trained_setup) -> GnnClassifier:
 @pytest.fixture()
 def small_config() -> GvexConfig:
     return GvexConfig(theta=0.08, radius=0.3, gamma=0.5).with_bounds(0, 6)
+
+
+def explain_database_parallel(
+    db,
+    model,
+    config=None,
+    labels=None,
+    processes=2,
+    predicted=None,
+    return_stats=False,
+    method="gvex-approx",
+    seed=0,
+    explainer_kwargs=None,
+):
+    """Plan-and-run helper matching the removed ``repro.core.parallel``
+    wrapper's signature, for tests exercising the fork-pool schedule."""
+    from repro.runtime import build_plan, run_plan
+
+    plan = build_plan(
+        db,
+        model,
+        config,
+        labels=labels,
+        predicted=predicted,
+        method=method,
+        seed=seed,
+        explainer_kwargs=explainer_kwargs,
+        processes=processes,
+    )
+    return run_plan(plan, processes=processes, return_stats=return_stats)

@@ -210,7 +210,7 @@ class TestServiceParallel:
     def test_parallel_forwards_constructor_overrides(
         self, trained_model, mutagen_db
     ):
-        from repro.core.parallel import explain_database_parallel
+        from tests.conftest import explain_database_parallel
 
         config = GvexConfig().with_bounds(0, 4)
         # unknown override surfaces from the worker build, not silently
@@ -237,7 +237,7 @@ class TestServiceParallel:
         picks may differ from the serial order; the contract is the
         same groups, the same explained graphs, and the size bound.
         """
-        from repro.core.parallel import explain_database_parallel
+        from tests.conftest import explain_database_parallel
 
         config = GvexConfig().with_bounds(0, 4)
         views_p = explain_database_parallel(

@@ -15,7 +15,7 @@ import pytest
 
 from repro.config import BACKEND_BATCHED, BACKEND_SERIAL, GvexConfig
 from repro.core.approx import ApproxGvex
-from repro.core.parallel import explain_database_parallel
+from tests.conftest import explain_database_parallel
 from tests.test_golden_views import view_set_fingerprint
 
 
@@ -250,6 +250,45 @@ def test_matching_bench_smoke(tmp_path):
         assert (
             per_backend[(name, "fast")] == per_backend[(name, "reference")]
         )
+
+
+def _load_columnar_bench():
+    """Import benchmarks/bench_columnar.py by path (not a package)."""
+    import importlib.util
+    from pathlib import Path
+
+    path = Path(__file__).parent.parent / "benchmarks" / "bench_columnar.py"
+    spec = importlib.util.spec_from_file_location("bench_columnar", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.slow
+def test_columnar_bench_smoke(tmp_path):
+    """The columnar bench's perf contracts hold at smoke scale.
+
+    The two acceptance bars from results/BENCH_columnar.json, re-run
+    inside CI: the ad-hoc fast matcher (plan-cache mediated, the path
+    ``find_isomorphisms`` actually takes) must be >= 1.0x the
+    reference on every host <= 24 nodes, and the columnar context
+    build must be >= 3x the legacy per-graph build on a full-scale
+    label group. Parity is asserted inside the bench arms themselves.
+    """
+    bench = _load_columnar_bench()
+
+    rows = bench.crossover_case(sizes=(8, 16, 24), reps=15)
+    for row in rows:
+        assert row["ad_hoc_speedup"] >= 1.0, row
+
+    build = bench.context_build_case(
+        "synthetic-smoke", bench.synthetic_label_group(n_graphs=32), rounds=3
+    )
+    assert build["speedup"] >= bench.MIN_BUILD_SPEEDUP, build
+
+    forward = bench.stacked_forward_case("mutagenicity")
+    assert forward["bit_identical"] is True
+    assert forward["speedup"] > 0
 
 
 def _load_dist_cluster_bench():

@@ -3,13 +3,16 @@
 import pytest
 
 from repro.core.approx import explain_database
-from repro.core.distributed import (
-    explain_database_sharded,
-    merge_view_sets,
-    merge_views,
-)
 from repro.graphs.view import ExplanationView
 from repro.matching.coverage import CoverageIndex
+from repro.runtime import build_plan, run_plan
+from repro.runtime.merge import merge_view_sets, merge_views
+
+
+def explain_database_sharded(db, model, config, n_shards=2, processes=1):
+    """Shard-and-merge through the runtime plan/executor API."""
+    plan = build_plan(db, model, config, processes=processes)
+    return run_plan(plan, processes=processes, n_shards=n_shards)
 
 
 class TestMergeViews:

@@ -5,12 +5,11 @@ import pytest
 
 from repro.config import GvexConfig
 from repro.core.approx import explain_database
-from repro.core.parallel import explain_database_parallel
 from repro.core.streaming import StreamGvex
 from repro.graphs.graph import graph_from_edges
 from repro.matching.coverage import CoverageIndex
 
-from tests.conftest import N, O
+from tests.conftest import N, O, explain_database_parallel
 
 
 @pytest.fixture()

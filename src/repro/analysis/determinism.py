@@ -26,6 +26,15 @@ or an assignment to a ``*key*``-named variable. ``id()`` values are
 reused after GC and differ across processes; wall-clock keys are
 never reproducible. Content-defined keys (``graph_content_key``,
 WL keys) are the sanctioned alternative (docs/matching.md).
+
+``REPRO304`` — ``time.time()`` flowing into deadline or timeout
+arithmetic: added to / subtracted from a ``timeout``/``deadline``/
+``expires``/``budget``-named operand, compared against one, or
+assigned to one. Wall clocks jump under NTP slew and DST, silently
+corrupting the budget; every budget in the runtime is measured on
+``time.monotonic()`` (``repro.runtime.deadline.Deadline``). Fires in
+every package, not just the hot ones — a wall-clock deadline is
+wrong anywhere.
 """
 
 from __future__ import annotations
@@ -69,6 +78,33 @@ _GLOBAL_RANDOM_FNS = frozenset(
 
 _DICT_KEY_METHODS = frozenset({"get", "setdefault", "pop"})
 
+#: name fragments that mark an operand as deadline/timeout arithmetic
+_DEADLINE_TOKENS = ("timeout", "deadline", "expire", "expiry", "budget")
+
+
+def _is_wall_clock(node: ast.AST) -> bool:
+    """True for a ``time.time()`` call (any alias chain ending there)."""
+    hit = _volatile_call(node)
+    return hit == "time.time"
+
+
+def _contains_wall_clock(root: ast.AST) -> bool:
+    return any(_is_wall_clock(node) for node in ast.walk(root))
+
+
+def _deadline_named(root: ast.AST) -> bool:
+    """Any Name/Attribute under ``root`` carrying a deadline token."""
+    for node in ast.walk(root):
+        if isinstance(node, ast.Name):
+            label = node.id.lower()
+        elif isinstance(node, ast.Attribute):
+            label = node.attr.lower()
+        else:
+            continue
+        if any(token in label for token in _DEADLINE_TOKENS):
+            return True
+    return False
+
 
 def _is_set_expr(node: ast.expr) -> bool:
     """Syntactically certain to evaluate to an unordered set."""
@@ -107,10 +143,11 @@ def _find_volatile(root: ast.AST) -> Optional[Tuple[str, int]]:
 
 @register_checker
 class DeterminismChecker:
-    """REPRO301 set-order leaks, REPRO302 global RNG, REPRO303 id/time keys."""
+    """REPRO301 set-order leaks, REPRO302 global RNG, REPRO303 id/time
+    keys, REPRO304 wall-clock deadline arithmetic."""
 
     name = "determinism"
-    codes = ("REPRO301", "REPRO302", "REPRO303")
+    codes = ("REPRO301", "REPRO302", "REPRO303", "REPRO304")
 
     def __init__(
         self, hot_packages: Sequence[str] = DEFAULT_HOT_PACKAGES
@@ -295,6 +332,53 @@ class DeterminismChecker:
                         f"id() values are recycled after GC and differ "
                         f"across processes — use a content-defined key",
                     )
+            # ``deadline = time.time() + budget`` — a wall-clock budget
+            named_deadline = any(_deadline_named(t) for t in targets)
+            if (
+                named_deadline
+                and node.value is not None
+                and _contains_wall_clock(node.value)
+            ):
+                emit(
+                    "REPRO304",
+                    node.value.lineno,
+                    f"{qual}.wallclock-deadline",
+                    "'time.time()' assigned to a deadline/timeout "
+                    "variable; wall clocks jump under NTP slew — "
+                    "measure budgets on time.monotonic() "
+                    "(repro.runtime.deadline.Deadline)",
+                )
+        # ``time.time() + timeout`` / ``time.time() > deadline``
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Add, ast.Sub)
+        ):
+            sides = (node.left, node.right)
+            if any(_contains_wall_clock(s) for s in sides) and any(
+                _deadline_named(s) for s in sides
+            ):
+                emit(
+                    "REPRO304",
+                    node.lineno,
+                    f"{qual}.wallclock-deadline",
+                    "'time.time()' in deadline/timeout arithmetic; "
+                    "wall clocks jump under NTP slew — measure "
+                    "budgets on time.monotonic() "
+                    "(repro.runtime.deadline.Deadline)",
+                )
+        if isinstance(node, ast.Compare):
+            sides = [node.left, *node.comparators]
+            if any(_contains_wall_clock(s) for s in sides) and any(
+                _deadline_named(s) for s in sides
+            ):
+                emit(
+                    "REPRO304",
+                    node.lineno,
+                    f"{qual}.wallclock-deadline",
+                    "'time.time()' compared against a deadline/timeout "
+                    "value; wall clocks jump under NTP slew — measure "
+                    "budgets on time.monotonic() "
+                    "(repro.runtime.deadline.Deadline)",
+                )
 
     def _check_randomness(self, emit, node: ast.Call, chain, qual) -> None:
         # numpy.random.<fn> / np.random.<fn> except the seeded constructors

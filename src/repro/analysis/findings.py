@@ -51,6 +51,10 @@ CODES: Dict[str, str] = {
         "identity- or wall-clock-dependent value (id(), time.time()) "
         "used in a cache key or sort key"
     ),
+    "REPRO304": (
+        "time.time() in deadline/timeout arithmetic; budgets must be "
+        "measured on time.monotonic()"
+    ),
     "REPRO401": (
         "bare or broad exception handler that swallows the error "
         "(no raise on the handler path)"

@@ -14,7 +14,8 @@ Routes
 ``GET  /capabilities``  the Table 1 capability matrix (text)
 ``GET  /views``         current views (``?tenant=NAME``), versioned wire format
 ``POST /explain``       ``{"tenant"?, "method", "labels"?, "config"?,``
-                        ``"processes"?, "n_shards"?}`` -> view summary
+                        ``"processes"?, "n_shards"?, "deadline_seconds"?}``
+                        -> view summary
 ``POST /query``         ``{"tenant"?, "pattern", "scope"?, "label"?,``
                         ``"patterns"?}`` -> occurrences + per-label statistics
 
@@ -33,12 +34,16 @@ so explains for *distinct* tenants run simultaneously while each
 tenant's own explains serialize inside its service. Submissions past
 the queued backlog (``queue_capacity``) — or past one tenant's depth
 bound (``tenant_queue_capacity``) — are rejected immediately with
-``503`` + ``Retry-After`` (backpressure; see docs/runtime.md). Request
-bodies above ``max_body_bytes`` are refused with ``413`` before the
-queue is touched; a fork worker killed mid-shard surfaces as a ``500``
-with its queue slot reclaimed. With ``auth_token`` set, POST routes
-require ``Authorization: Bearer <token>`` (compared constant-time);
-reads stay open.
+``503`` + ``Retry-After`` (backpressure; see docs/runtime.md). An
+``/explain`` may carry ``deadline_seconds``, a monotonic budget the
+whole stack honours (queue admission, drain, per-shard execution);
+when it expires the request gets ``504`` with a structured body
+(``"code": "deadline_expired"``) and its queue depth is fully
+reclaimed — see docs/api.md. Request bodies above ``max_body_bytes``
+are refused with ``413`` before the queue is touched; a fork worker
+killed mid-shard surfaces as a ``500`` with its queue slot reclaimed.
+With ``auth_token`` set, POST routes require ``Authorization: Bearer
+<token>`` (compared constant-time); reads stay open.
 """
 
 from __future__ import annotations
@@ -54,6 +59,7 @@ from repro.api.service import ExplanationService, pattern_from_spec
 from repro.config import GvexConfig
 from repro.exceptions import (
     ConfigurationError,
+    DeadlineExpiredError,
     InvalidTypeError,
     QueueFullError,
     ReproError,
@@ -63,6 +69,7 @@ from repro.exceptions import (
 )
 from repro.graphs.io import viewset_to_dict
 from repro.query import Q, Query
+from repro.runtime.deadline import Deadline
 from repro.runtime.workqueue import DEFAULT_CAPACITY, BoundedWorkQueue
 
 DEFAULT_HOST = "127.0.0.1"
@@ -307,13 +314,16 @@ class _Handler(JsonRequestHandler):
                 # resolve the tenant *before* admission so an unknown
                 # name is a 404 that never consumes a queue slot
                 self.server.registry.ensure(tenant)
+                deadline = self._deadline(body)
                 # explains mutate tenant state: admit through the
                 # bounded queue and block for the result; a full queue
                 # (global backlog or this tenant's depth bound) is
                 # immediate backpressure
                 try:
                     item = self.server.work_queue.submit(
-                        lambda: self._explain(tenant, body), tenant=tenant
+                        lambda: self._explain(tenant, body, deadline),
+                        tenant=tenant,
+                        deadline=deadline,
                     )
                 except QueueFullError as exc:
                     self._json(
@@ -337,6 +347,18 @@ class _Handler(JsonRequestHandler):
             self._error(413, str(exc))
         except TenantError as exc:
             self._error(404, str(exc))
+        except DeadlineExpiredError as exc:
+            # the deadline contract (docs/api.md): expired in the queue
+            # or mid-dispatch -> 504 with a structured body; the queue
+            # depth the request held is already reclaimed
+            self._json(
+                504,
+                {
+                    "error": str(exc),
+                    "code": "deadline_expired",
+                    "queue": self.server.work_queue.stats(),
+                },
+            )
         except WorkerCrashError as exc:
             self._error(500, str(exc))
         except (ReproError, KeyError, ValueError, TypeError) as exc:
@@ -345,6 +367,19 @@ class _Handler(JsonRequestHandler):
             self._error(500, f"{type(exc).__name__}: {exc}")
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _deadline(body: Dict[str, Any]) -> Optional[Deadline]:
+        """Parse the optional ``deadline_seconds`` budget field."""
+        budget = body.get("deadline_seconds")
+        if budget is None:
+            return None
+        if isinstance(budget, bool) or not isinstance(budget, (int, float)):
+            raise InvalidTypeError(
+                "deadline_seconds must be a number of seconds, got "
+                f"{type(budget).__name__}"
+            )
+        return Deadline.after(float(budget))
+
     def _tenant_name(self, requested: Optional[str]) -> str:
         """Resolve a request's tenant field against the server default."""
         if requested is not None:
@@ -405,7 +440,12 @@ class _Handler(JsonRequestHandler):
             ]
         }
 
-    def _explain(self, tenant: str, body: Dict[str, Any]) -> Dict[str, Any]:
+    def _explain(
+        self,
+        tenant: str,
+        body: Dict[str, Any],
+        deadline: Optional[Deadline] = None,
+    ) -> Dict[str, Any]:
         """One explain job — runs on a work-queue pool thread."""
         with self.server.registry.acquire(tenant) as svc:
             method = body.get("method", "gvex-approx")
@@ -419,6 +459,7 @@ class _Handler(JsonRequestHandler):
                 config=config,
                 processes=int(body.get("processes", 1)),
                 n_shards=int(body.get("n_shards", 1)),
+                deadline=deadline,
             )
             return {
                 "tenant": tenant,

@@ -186,6 +186,7 @@ class ExplanationService:
         n_shards: int = 1,
         seed: Optional[Any] = None,
         shard_stats: Optional[Mapping] = None,
+        deadline: Optional[Any] = None,
         **overrides: Any,
     ) -> ViewSet:
         """Generate explanation views with any registered explainer.
@@ -197,8 +198,14 @@ class ExplanationService:
         replica-sharding simulation and merges partial views.
         ``shard_stats`` (parsed ``results/runtime_scaling.json``
         content; CLI ``--shard-stats``) feeds observed wall-clock back
-        into shard sizing. The produced views become the service's
-        current views (queryable via :meth:`query`).
+        into shard sizing. ``deadline`` (a
+        :class:`~repro.runtime.deadline.Deadline`) attaches a monotonic
+        budget the executors re-check between shards — when it expires
+        mid-run the typed
+        :class:`~repro.exceptions.DeadlineExpiredError` surfaces (the
+        HTTP layer maps it to 504) and no views are published. The
+        produced views become the service's current views (queryable
+        via :meth:`query`).
         """
         spec = get_spec(method)
         config = config if config is not None else self.config
@@ -221,6 +228,7 @@ class ExplanationService:
                 explainer_kwargs=overrides,
                 processes=processes,
                 shard_stats=shard_stats,
+                deadline=deadline,
             )
             views = run_plan(plan, processes=processes, n_shards=n_shards)
             self.last_method = spec.name

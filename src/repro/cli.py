@@ -266,6 +266,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="shared bearer token for every cluster POST route",
     )
+    p_coord.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        help="per-dispatch HTTP timeout in seconds (a shard must "
+        "answer within this; default 300)",
+    )
+    p_coord.add_argument(
+        "--retry-attempts",
+        type=int,
+        default=None,
+        help="transient-failure dispatch attempts per shard before the "
+        "circuit breaker quarantines the worker (default 3)",
+    )
+    p_coord.add_argument(
+        "--journal",
+        default=None,
+        help="fsync'd shard-result journal path: every completed shard "
+        "survives a coordinator crash (docs/distribution.md)",
+    )
+    p_coord.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay an existing --journal, skipping completed shards "
+        "(refuses a journal written for a different plan)",
+    )
     p_coord.add_argument("--out", required=True, help="merged views .json path")
 
     p_work = sub.add_parser(
@@ -288,6 +314,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="TCP port (0 picks a free one)")
     p_work.add_argument("--worker-id", default=None)
     p_work.add_argument("--heartbeat-interval", type=float, default=None)
+    p_work.add_argument(
+        "--max-missed-heartbeats",
+        type=int,
+        default=None,
+        help="consecutive failed heartbeats before the worker presumes "
+        "the coordinator gone and exits cleanly (default 3)",
+    )
+    p_work.add_argument(
+        "--transport-timeout",
+        type=float,
+        default=None,
+        help="HTTP timeout in seconds for register/warm-boot calls to "
+        "the coordinator (default 30)",
+    )
     p_work.add_argument("--auth-token", default=None)
     p_work.add_argument(
         "--no-warm",
@@ -565,11 +605,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         config = GvexConfig(
             theta=args.theta, radius=args.radius, gamma=args.gamma
         ).with_bounds(args.lower, args.upper)
+        if args.resume and not args.journal:
+            raise SystemExit("--resume requires --journal PATH")
         svc = _service(args, config)
         _attach_model(svc, args)
         kwargs = {"auth_token": args.auth_token}
         if args.heartbeat_timeout is not None:
             kwargs["heartbeat_timeout"] = args.heartbeat_timeout
+        if args.request_timeout is not None:
+            kwargs["request_timeout"] = args.request_timeout
+        if args.retry_attempts is not None:
+            from repro.runtime.cluster import RetryPolicy
+
+            kwargs["retry_policy"] = RetryPolicy(attempts=args.retry_attempts)
         coordinator = ClusterCoordinator(args.host, args.port, **kwargs)
         _SERVE_STATE["coordinator"] = coordinator
         with coordinator:
@@ -579,7 +627,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             plan = build_plan(
                 svc.db, svc.model, config, method=args.method, seed=args.seed
             )
-            views, stats = DistributedExecutor(coordinator).run(plan)
+            journal = None
+            if args.journal:
+                from repro.runtime.cluster import ShardJournal
+
+                if not args.resume and Path(args.journal).exists():
+                    # a fresh (non-resume) run must not inherit records
+                    Path(args.journal).unlink()
+                journal = ShardJournal.for_plan(args.journal, plan)
+                if args.resume:
+                    print(
+                        f"resume: {len(journal.completed)} shard(s) "
+                        f"replayed from {args.journal} "
+                        f"({journal.skipped} line(s) skipped)"
+                    )
+                views, stats = coordinator.run(plan, journal=journal)
+                journal.close()
+            else:
+                views, stats = DistributedExecutor(coordinator).run(plan)
             from repro.graphs.io import save_views
 
             save_views(views, args.out)
@@ -589,9 +654,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     f"{len(view.patterns)} patterns, f={view.score:.3f}"
                 )
             print(
-                f"dispatched {stats['shards']} shard(s) to "
+                f"completed {stats['shards']} shard(s) via "
                 f"{stats['workers_used']} worker(s), "
-                f"re-dispatched {stats['redispatched']}; "
+                f"re-dispatched {stats['redispatched']}, "
+                f"resumed {stats.get('resumed', 0)}; "
                 f"saved views to {args.out}"
             )
         _SERVE_STATE.pop("coordinator", None)
@@ -615,6 +681,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         }
         if args.heartbeat_interval is not None:
             kwargs["heartbeat_interval"] = args.heartbeat_interval
+        if args.max_missed_heartbeats is not None:
+            kwargs["max_missed_heartbeats"] = args.max_missed_heartbeats
+        if args.transport_timeout is not None:
+            kwargs["transport_timeout"] = args.transport_timeout
         worker = ClusterWorker(db, model, args.coordinator, **kwargs)
         _SERVE_STATE["worker"] = worker
         with worker:

@@ -76,6 +76,24 @@ class RegistryError(ReproError):
     """Unknown or misconfigured explainer registry entry."""
 
 
+class DeadlineExpiredError(ReproError):
+    """A request's deadline budget ran out before the work finished.
+
+    Deadlines are ``time.monotonic()``-based budgets threaded from the
+    HTTP layer (``/explain`` ``deadline_seconds``) through queue
+    admission, plan execution, and cluster dispatch; the HTTP layer
+    maps this to ``504 Gateway Timeout`` with a structured body
+    (docs/api.md deadline contract)."""
+
+
+class JournalError(ReproError):
+    """A shard-result journal could not be used (stale plan key,
+    unreadable header, version mismatch). Torn or corrupt *trailing*
+    records are tolerated silently; this error means the journal as a
+    whole belongs to a different plan or format and must not seed a
+    resume."""
+
+
 class QueueFullError(ReproError):
     """The bounded work queue rejected a submission (backpressure).
 
@@ -112,8 +130,27 @@ class ClusterError(ReproError):
 
 class TransportError(ClusterError):
     """An HTTP exchange with a cluster peer failed (connect, timeout,
-    non-2xx status, unparseable body). The coordinator treats this as
-    evidence the peer is dead and re-dispatches its in-flight shards."""
+    non-2xx status, unparseable body).
+
+    Carries a classification the retry layer acts on (docs/faults.md):
+    ``status`` is the HTTP status code if the peer answered at all;
+    ``transient`` is True for failures worth retrying (refused, reset,
+    timeout, 408/429/5xx backpressure) and False for fatal ones (401,
+    404, unparseable body) where retrying the same request can only
+    fail the same way. When ``transient`` is not given explicitly it is
+    derived from ``status``: no status (network-level failure) or a
+    status in :data:`TRANSIENT_STATUSES` means transient.
+    """
+
+    #: HTTP statuses that signal a retryable condition
+    TRANSIENT_STATUSES = frozenset({408, 429, 500, 502, 503, 504})
+
+    def __init__(self, message, *, status=None, transient=None):
+        super().__init__(message)
+        self.status = status
+        if transient is None:
+            transient = status is None or status in self.TRANSIENT_STATUSES
+        self.transient = transient
 
 
 class MiningError(ReproError):

@@ -24,6 +24,7 @@ table). The architecture is documented in ``docs/runtime.md``; the
 exported surface is snapshotted by ``scripts/check_api_surface.py``.
 """
 
+from repro.runtime.deadline import Deadline
 from repro.runtime.executors import (
     Executor,
     ForkPoolExecutor,
@@ -34,6 +35,7 @@ from repro.runtime.executors import (
     run_plan,
     run_tasks,
 )
+from repro.runtime.faults import FAULT_KINDS, FaultPlan, FaultSpec
 from repro.runtime.merge import merge_view_sets, merge_views
 from repro.runtime.plan import (
     APPROX_METHOD,
@@ -77,4 +79,9 @@ __all__ = [
     "WorkItem",
     "DEFAULT_CAPACITY",
     "DEFAULT_TENANT",
+    # fault discipline
+    "Deadline",
+    "FaultPlan",
+    "FaultSpec",
+    "FAULT_KINDS",
 ]

@@ -16,11 +16,24 @@ Topology, wire schema, and fault semantics: ``docs/distribution.md``.
 """
 
 from repro.runtime.cluster.coordinator import (
+    DEFAULT_BREAKER_THRESHOLD,
     DEFAULT_HEARTBEAT_TIMEOUT,
     DEFAULT_REQUEST_TIMEOUT,
+    STATE_DEAD,
+    STATE_LIVE,
+    STATE_QUARANTINED,
     ClusterCoordinator,
     DistributedExecutor,
     WorkerRecord,
+)
+from repro.runtime.cluster.journal import (
+    JOURNAL_VERSION,
+    ShardJournal,
+    plan_content_key,
+)
+from repro.runtime.cluster.transport import (
+    TRANSIENT_STATUSES,
+    RetryPolicy,
 )
 from repro.runtime.cluster.wire import (
     MESSAGE_TYPES,
@@ -59,6 +72,17 @@ __all__ = [
     "DEFAULT_REQUEST_TIMEOUT",
     "DEFAULT_HEARTBEAT_INTERVAL",
     "DEFAULT_MAX_MISSED",
+    "DEFAULT_BREAKER_THRESHOLD",
+    "STATE_LIVE",
+    "STATE_QUARANTINED",
+    "STATE_DEAD",
+    # fault discipline
+    "RetryPolicy",
+    "TRANSIENT_STATUSES",
+    # durability
+    "ShardJournal",
+    "plan_content_key",
+    "JOURNAL_VERSION",
     # wire schema
     "WIRE_SCHEMA_VERSION",
     "MESSAGE_TYPES",

@@ -20,7 +20,12 @@ from __future__ import annotations
 from typing import Any
 
 from repro.api.server import JsonRequestHandler, _PayloadTooLarge
-from repro.exceptions import ClusterError, ReproError, WireError
+from repro.exceptions import (
+    ClusterError,
+    DeadlineExpiredError,
+    ReproError,
+    WireError,
+)
 from repro.runtime.cluster import wire
 
 
@@ -99,6 +104,17 @@ class WorkerHandler(JsonRequestHandler):
             self._error(413, str(exc))
         except WireError as exc:
             self._error(400, str(exc))
+        except DeadlineExpiredError as exc:
+            # a refused spent-budget dispatch: 504 tells the retrying
+            # coordinator the *deadline* failed, not the worker
+            self._json(
+                504,
+                {
+                    "error": str(exc),
+                    "code": "deadline_expired",
+                    "worker_id": worker.worker_id,
+                },
+            )
         except (ReproError, ValueError, TypeError) as exc:
             self._error(400, f"{type(exc).__name__}: {exc}")
         except Exception as exc:  # repro: noqa[REPRO401] - HTTP boundary -> 500

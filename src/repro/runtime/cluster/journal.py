@@ -1,0 +1,250 @@
+"""Crash-resumable shard-result journal (fsync'd, content-keyed).
+
+A coordinator run used to live entirely in memory: a crash forfeited
+every completed shard. :class:`ShardJournal` makes partial progress a
+first-class, durable artifact — each completed shard's wire-schema
+``result`` envelope is appended as one line and fsync'd before the
+coordinator acknowledges it, so a run restarted with ``--resume``
+replays the journal, skips every shard it proves complete, and merges
+a bit-identical ``ViewSet`` (shard work is deterministic; the journal
+stores the *exact* envelope the worker produced).
+
+File format (line-delimited JSON, docs/distribution.md):
+
+* line 1 — header: ``{"journal": 1, "plan_key": "<sha256>"}``;
+* each further line — ``{"shard_id": N, "sha256": "<digest of the
+  result envelope's canonical bytes>", "result": {...envelope...}}``.
+
+The ``plan_key`` is :func:`plan_content_key` — a sha256 over the
+plan's method, seed, config, labels, and shard layout — so a journal
+can never seed a resume of a *different* plan: a mismatch raises the
+typed :class:`~repro.exceptions.JournalError` instead of silently
+merging stale views.
+
+Torn-write tolerance: a crash (or an injected ``torn_write`` fault,
+docs/faults.md) can leave a trailing partial line. The loader skips
+any line that fails to parse, fails its sha256 self-check, or fails
+wire-schema validation — those shards simply re-execute. Re-opening a
+torn journal self-heals: the next append first terminates the dangling
+fragment with a newline so the fragment stays one (skippable) corrupt
+line instead of corrupting the new record.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from typing import Any, Dict, Mapping, Optional
+
+from repro.exceptions import JournalError
+from repro.runtime.cluster import wire
+from repro.runtime.plan import ExplainPlan
+
+#: journal file-format version; bump on incompatible change
+JOURNAL_VERSION = 1
+
+
+def plan_content_key(plan: ExplainPlan) -> str:
+    """A sha256 content key identifying what a plan will compute.
+
+    Covers everything that determines shard results — method, seed,
+    config, explainer kwargs, labels, and the exact shard layout — but
+    not *where* the plan runs, so a resumed coordinator on a different
+    host accepts the journal as long as the work is the same.
+    """
+    payload = {
+        "method": plan.method,
+        "seed": int(plan.seed),
+        "config": plan.config.to_dict(),
+        "explainer_kwargs": dict(plan.explainer_kwargs),
+        "labels": [int(label) for label in plan.labels],
+        "shards": [
+            [int(shard.label), [int(i) for i in shard.indices]]
+            for shard in plan.shards
+        ],
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _compact(obj: Mapping[str, Any]) -> bytes:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+
+
+class ShardJournal:
+    """Append-only, fsync'd record of completed shards for one plan.
+
+    Opening an existing file *is* the resume path: the header's
+    ``plan_key`` is checked against ``plan_key`` (mismatch →
+    :class:`JournalError`) and every valid record loads into
+    :attr:`completed` (first entry per shard wins — duplicates from a
+    straggler re-dispatch are bit-identical anyway). Appends are
+    serialized under a lock and fsync'd before returning, so a record
+    the coordinator has acknowledged survives SIGKILL.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        plan_key: str,
+        *,
+        faults: Optional[Any] = None,
+    ) -> None:
+        self.path = str(path)
+        self.plan_key = plan_key
+        self.faults = faults
+        #: shard_id -> decoded, validated result message (replayed)
+        self.completed: Dict[int, wire.ResultMessage] = {}
+        #: raw envelopes for the replayed records (diagnostics)
+        self.envelopes: Dict[int, Dict[str, Any]] = {}
+        #: lines dropped on load (torn, corrupt, or duplicate)
+        self.skipped = 0
+        self.appended = 0
+        self._lock = threading.Lock()
+        self._needs_newline = False
+        existed = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+        if existed:
+            self._load()
+        self._file = open(self.path, "ab")
+        if not existed:
+            self._file.write(
+                _compact({"journal": JOURNAL_VERSION, "plan_key": plan_key})
+                + b"\n"
+            )
+            self._sync()
+
+    @classmethod
+    def for_plan(
+        cls,
+        path: str,
+        plan: ExplainPlan,
+        *,
+        faults: Optional[Any] = None,
+    ) -> "ShardJournal":
+        """Open ``path`` keyed to ``plan`` (the usual constructor)."""
+        return cls(path, plan_content_key(plan), faults=faults)
+
+    # ------------------------------------------------------------------
+    # load / resume
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        with open(self.path, "rb") as fh:
+            data = fh.read()
+        if data and not data.endswith(b"\n"):
+            # a torn trailing write: heal it on the next append.
+            # _load only runs from __init__, before the journal is
+            # shared across threads, so no lock is needed yet.
+            self._needs_newline = True  # repro: noqa[REPRO101] - pre-share init
+        lines = data.split(b"\n")
+        try:
+            header = json.loads(lines[0].decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise JournalError(
+                f"{self.path}: unreadable journal header"
+            ) from exc
+        if not isinstance(header, dict) or "journal" not in header:
+            raise JournalError(
+                f"{self.path}: first line is not a journal header"
+            )
+        if header.get("journal") != JOURNAL_VERSION:
+            raise JournalError(
+                f"{self.path}: journal version {header.get('journal')!r} "
+                f"unsupported (this build writes version {JOURNAL_VERSION})"
+            )
+        if header.get("plan_key") != self.plan_key:
+            raise JournalError(
+                f"{self.path}: journal belongs to a different plan "
+                f"(key {str(header.get('plan_key'))[:12]}..., expected "
+                f"{self.plan_key[:12]}...); refusing to seed a resume"
+            )
+        for raw in lines[1:]:
+            if not raw.strip():
+                continue
+            try:
+                record = json.loads(raw.decode("utf-8"))
+                envelope = record["result"]
+                digest = hashlib.sha256(
+                    wire.canonical_bytes(envelope)
+                ).hexdigest()
+                if digest != record["sha256"]:
+                    raise JournalError("sha256 self-check failed")
+                msg = wire.decode_result(envelope)
+                if int(record["shard_id"]) != msg.shard_id:
+                    raise JournalError("shard_id disagrees with envelope")
+            except Exception:  # repro: noqa[REPRO401] - tolerant replay
+                self.skipped += 1
+                continue
+            if msg.shard_id in self.completed:
+                self.skipped += 1  # duplicate: first entry wins
+                continue
+            self.completed[msg.shard_id] = msg
+            self.envelopes[msg.shard_id] = envelope
+
+    # ------------------------------------------------------------------
+    # append
+    # ------------------------------------------------------------------
+    def append(self, envelope: Mapping[str, Any]) -> None:
+        """Durably record one completed shard's ``result`` envelope."""
+        envelope = dict(envelope)
+        digest = hashlib.sha256(wire.canonical_bytes(envelope)).hexdigest()
+        line = (
+            _compact(
+                {
+                    "shard_id": int(envelope["shard_id"]),
+                    "sha256": digest,
+                    "result": envelope,
+                }
+            )
+            + b"\n"
+        )
+        with self._lock:
+            if self._needs_newline:
+                self._file.write(b"\n")
+                self._needs_newline = False
+            if self.faults is not None and self.faults.torn_write():
+                # persist only a prefix: the record is lost to a resume
+                # (the shard re-executes) but never corrupts a neighbor
+                self._file.write(line[: max(1, len(line) // 2)])
+                self._needs_newline = True
+            else:
+                self._file.write(line)
+                self.appended += 1
+            self._sync()
+
+    def _sync(self) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "completed": len(self.completed),
+                "appended": self.appended,
+                "skipped": self.skipped,
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.flush()
+                self._file.close()
+
+    def __enter__(self) -> "ShardJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardJournal {self.path!r} completed={len(self.completed)} "
+            f"appended={self.appended} skipped={self.skipped}>"
+        )
+
+
+__all__ = ["JOURNAL_VERSION", "ShardJournal", "plan_content_key"]

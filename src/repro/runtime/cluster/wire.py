@@ -93,6 +93,10 @@ class DispatchMessage:
     seed: int
     config: GvexConfig
     explainer_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    #: remaining deadline budget in seconds (relative — monotonic
+    #: clocks are per-process); None means no deadline. Optional on
+    #: the wire: omitted when absent, so schema 1 goldens are unchanged
+    deadline_seconds: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -237,6 +241,7 @@ def encode_dispatch(
     seed: int,
     config: GvexConfig,
     explainer_kwargs: Optional[Mapping[str, Any]] = None,
+    deadline_seconds: Optional[float] = None,
 ) -> Dict[str, Any]:
     env = _envelope(MSG_DISPATCH)
     env["job_id"] = job_id
@@ -247,6 +252,8 @@ def encode_dispatch(
     env["seed"] = int(seed)
     env["config"] = config.to_dict()
     env["explainer_kwargs"] = dict(explainer_kwargs or {})
+    if deadline_seconds is not None:
+        env["deadline_seconds"] = float(deadline_seconds)
     return env
 
 
@@ -260,6 +267,16 @@ def decode_dispatch(payload: Any) -> DispatchMessage:
         config = GvexConfig.from_dict(config_dict)
     except Exception as exc:
         raise WireError(f"dispatch carries an invalid config: {exc}") from exc
+    deadline_seconds = d.get("deadline_seconds")
+    if deadline_seconds is not None:
+        if isinstance(deadline_seconds, bool) or not isinstance(
+            deadline_seconds, (int, float)
+        ):
+            raise WireError(
+                "dispatch field 'deadline_seconds' must be a number, got "
+                f"{type(deadline_seconds).__name__}"
+            )
+        deadline_seconds = float(deadline_seconds)
     return DispatchMessage(
         job_id=_require(d, "job_id", str),
         shard_id=_require(d, "shard_id", int),
@@ -269,6 +286,7 @@ def decode_dispatch(payload: Any) -> DispatchMessage:
         seed=_require(d, "seed", int),
         config=config,
         explainer_kwargs=dict(_require(d, "explainer_kwargs", dict)),
+        deadline_seconds=deadline_seconds,
     )
 
 

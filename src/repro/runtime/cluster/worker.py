@@ -40,12 +40,16 @@ from http.server import ThreadingHTTPServer
 from typing import Any, Dict, Optional
 
 from repro.config import GvexConfig
-from repro.exceptions import TransportError
+from repro.exceptions import DeadlineExpiredError, TransportError
 from repro.gnn.model import GnnClassifier
 from repro.graphs.database import GraphDatabase
 from repro.matching.plan_cache import PLAN_CACHE
 from repro.runtime.cluster import wire
-from repro.runtime.cluster.transport import get_json, post_json
+from repro.runtime.cluster.transport import (
+    DEFAULT_TIMEOUT,
+    get_json,
+    post_json,
+)
 from repro.runtime.executors import WorkerState
 from repro.runtime.plan import Shard, assemble_views
 
@@ -92,6 +96,7 @@ class ClusterWorker:
         auth_token: Optional[str] = None,
         heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
         max_missed_heartbeats: int = DEFAULT_MAX_MISSED,
+        transport_timeout: float = DEFAULT_TIMEOUT,
         warm_start: bool = True,
         max_body_bytes: int = 64 << 20,
     ) -> None:
@@ -102,6 +107,7 @@ class ClusterWorker:
         self.auth_token = auth_token
         self.heartbeat_interval = heartbeat_interval
         self.max_missed_heartbeats = max_missed_heartbeats
+        self.transport_timeout = transport_timeout
         self.warm_start = warm_start
         self.max_body_bytes = max_body_bytes
         self._server = _WorkerServer((host, port), self)
@@ -143,6 +149,7 @@ class ClusterWorker:
             f"{self.coordinator_url}/register",
             wire.encode_register(self.worker_id, self.url),
             token=self.auth_token,
+            timeout=self.transport_timeout,
         )
         self._heartbeat_thread = threading.Thread(
             target=self._heartbeat_loop,
@@ -186,7 +193,9 @@ class ClusterWorker:
         try:
             snapshot = wire.decode_cache_snapshot(
                 get_json(
-                    f"{self.coordinator_url}/cache", token=self.auth_token
+                    f"{self.coordinator_url}/cache",
+                    token=self.auth_token,
+                    timeout=self.transport_timeout,
                 )
             )
         except Exception:  # repro: noqa[REPRO401] - warm start is best-effort
@@ -246,7 +255,18 @@ class ClusterWorker:
             return state
 
     def run_dispatch(self, msg: wire.DispatchMessage) -> Dict[str, Any]:
-        """One shard: run it warm, Psum its group, return the envelope."""
+        """One shard: run it warm, Psum its group, return the envelope.
+
+        A dispatch whose ``deadline_seconds`` budget is already spent
+        is *refused* (typed 504, never executed) — occupying the
+        exec lock for work nobody is waiting on would starve live
+        requests behind a dead one.
+        """
+        if msg.deadline_seconds is not None and msg.deadline_seconds <= 0:
+            raise DeadlineExpiredError(
+                f"shard {msg.shard_id} arrived with a spent deadline "
+                f"budget ({msg.deadline_seconds:.3f}s); refusing"
+            )
         state = self._state_for(msg)
         with self._exec_lock:
             calls_before = state.inference_calls

@@ -1,0 +1,76 @@
+"""Monotonic deadline budgets threaded through the whole stack.
+
+A :class:`Deadline` is an absolute ``time.monotonic()`` instant by
+which a unit of work must finish. It is created once at the edge (an
+``/explain`` request's ``deadline_seconds`` budget, a CLI flag) and
+passed *down* — queue admission, :class:`~repro.runtime.plan.ExplainPlan`
+execution, cluster dispatch — so every layer can refuse work whose
+budget is already spent instead of silently occupying a slot:
+
+* :meth:`Deadline.remaining` is what gets encoded on the wire (a
+  relative budget in seconds — monotonic clocks are per-process, so
+  absolute instants never cross a socket);
+* :meth:`Deadline.require` raises the typed
+  :class:`~repro.exceptions.DeadlineExpiredError` the HTTP layer maps
+  to ``504`` (docs/api.md deadline contract).
+
+Always ``time.monotonic()``, never ``time.time()``: wall clocks jump
+(NTP, suspend) and are flagged by the ``REPRO304`` invariant checker
+(docs/analysis.md).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.exceptions import DeadlineExpiredError, ValidationError
+
+
+class Deadline:
+    """An absolute monotonic instant a unit of work must beat."""
+
+    __slots__ = ("expires_at",)
+
+    def __init__(self, expires_at: float) -> None:
+        self.expires_at = float(expires_at)
+
+    @classmethod
+    def after(cls, budget_seconds: float) -> "Deadline":
+        """A deadline ``budget_seconds`` from now (must be > 0)."""
+        budget = float(budget_seconds)
+        if budget <= 0:
+            raise ValidationError(
+                f"deadline budget must be > 0 seconds, got {budget_seconds!r}"
+            )
+        return cls(time.monotonic() + budget)
+
+    @classmethod
+    def from_budget(
+        cls, budget_seconds: Optional[float]
+    ) -> Optional["Deadline"]:
+        """:meth:`after` for optional budgets (``None`` -> no deadline)."""
+        if budget_seconds is None:
+            return None
+        return cls.after(budget_seconds)
+
+    def remaining(self) -> float:
+        """Seconds of budget left (clamped at 0.0)."""
+        return max(0.0, self.expires_at - time.monotonic())
+
+    @property
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    def require(self, what: str = "work") -> None:
+        """Raise :class:`DeadlineExpiredError` if the budget is spent."""
+        if self.expired:
+            raise DeadlineExpiredError(
+                f"deadline expired: budget exhausted before {what}"
+            )
+
+    def __repr__(self) -> str:
+        return f"<Deadline remaining={self.remaining():.3f}s>"
+
+
+__all__ = ["Deadline"]

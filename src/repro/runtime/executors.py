@@ -153,6 +153,12 @@ def _collect(
     return subgraphs, calls
 
 
+def _require_budget(plan: ExplainPlan, what: str) -> None:
+    """Refuse further work when the plan's deadline budget is spent."""
+    if plan.deadline is not None:
+        plan.deadline.require(what)
+
+
 def _plan_predicted(plan: ExplainPlan) -> List[Optional[int]]:
     """Per-index predicted labels implied by the plan's shards."""
     predicted: List[Optional[int]] = [None] * len(plan.db)
@@ -207,6 +213,7 @@ class SerialExecutor(Executor):
     name = "serial"
 
     def run(self, plan: ExplainPlan) -> Tuple[ViewSet, Dict[str, int]]:
+        _require_budget(plan, "serial execution")
         if plan.method == APPROX_METHOD:
             if plan.config.coverage_scope == SCOPE_PER_GROUP:
                 algo = ApproxGvex(plan.model, plan.config, labels=plan.labels)
@@ -215,6 +222,7 @@ class SerialExecutor(Executor):
             state = WorkerState.from_plan(plan)
             results: List[TaskResult] = []
             for shard in plan.shards:
+                _require_budget(plan, "the next shard")
                 results.extend(state.run_shard(shard))
             subgraphs, calls = _collect(results, plan.labels)
             return (
@@ -232,6 +240,7 @@ class SerialExecutor(Executor):
             return views, {"inference_calls": 0}
         results = []
         for shard in plan.shards:
+            _require_budget(plan, "the next shard")
             results.extend(state.run_shard(shard))
         subgraphs, _ = _collect(results, plan.labels)
         return (
@@ -341,6 +350,7 @@ class ForkPoolExecutor(Executor):
         except ValueError:  # pragma: no cover - non-fork platforms
             return SerialExecutor().run(plan)
 
+        _require_budget(plan, "forking the worker pool")
         results = _fork_map(plan, self.processes)
         subgraphs, calls = _collect(results, plan.labels)
         return (
@@ -387,6 +397,7 @@ class ShardedExecutor(Executor):
         parts: List[ViewSet] = []
         calls = 0
         for replica in range(self.n_shards):
+            _require_budget(plan, f"replica {replica}")
             replica_predicted: List[Optional[int]] = [
                 p if i % self.n_shards == replica else None
                 for i, p in enumerate(predicted)
@@ -400,6 +411,7 @@ class ShardedExecutor(Executor):
                 method=plan.method,
                 seed=plan.seed,
                 explainer_kwargs=plan.explainer_kwargs,
+                deadline=plan.deadline,
             )
             views, stats = self.inner.run(replica_plan)
             calls += stats.get("inference_calls", 0)

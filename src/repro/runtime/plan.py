@@ -30,6 +30,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from repro.config import GvexConfig
 from repro.core.psum import summarize
 from repro.exceptions import ConfigurationError, RegistryError
+from repro.runtime.deadline import Deadline
 from repro.gnn.model import GnnClassifier
 from repro.graphs.database import GraphDatabase
 from repro.graphs.view import ExplanationSubgraph, ExplanationView, ViewSet
@@ -70,6 +71,9 @@ class ExplainPlan:
     #: sorted labels of interest (the view set's labels, even if empty)
     labels: Tuple[int, ...] = ()
     shards: Tuple[Shard, ...] = ()
+    #: optional monotonic deadline every executor honours between
+    #: shards (``Deadline.require`` -> typed 504; docs/api.md)
+    deadline: Optional["Deadline"] = None
 
     @property
     def n_tasks(self) -> int:
@@ -186,6 +190,7 @@ def build_plan(
     processes: int = 1,
     shard_size: Optional[int] = None,
     shard_stats: Optional[Mapping] = None,
+    deadline: Optional[Deadline] = None,
 ) -> ExplainPlan:
     """Partition a database into label-group shards.
 
@@ -196,6 +201,8 @@ def build_plan(
     observed wall-clock back into it (adaptive sizing; see
     :func:`observed_shard_size`). ``method`` is resolved through the
     explainer registry, so aliases work everywhere plans are built.
+    ``deadline`` attaches a monotonic budget that every executor (and
+    the cluster dispatch path) re-checks between shards.
     """
     from repro.api.registry import get_spec
 
@@ -243,6 +250,7 @@ def build_plan(
         explainer_kwargs=explainer_kwargs,
         labels=tuple(wanted),
         shards=tuple(shards),
+        deadline=deadline,
     )
 
 

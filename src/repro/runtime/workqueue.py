@@ -35,7 +35,12 @@ import threading
 import time
 from typing import Any, Callable, Dict, Optional
 
-from repro.exceptions import QueueFullError, ValidationError
+from repro.exceptions import (
+    DeadlineExpiredError,
+    QueueFullError,
+    ValidationError,
+)
+from repro.runtime.deadline import Deadline
 
 DEFAULT_CAPACITY = 8
 #: tenant key used when a submission names no tenant
@@ -45,9 +50,15 @@ DEFAULT_TENANT = "default"
 class WorkItem:
     """A submitted job: wait for it, then read ``result`` or re-raise."""
 
-    def __init__(self, fn: Callable[[], Any], tenant: str = DEFAULT_TENANT):
+    def __init__(
+        self,
+        fn: Callable[[], Any],
+        tenant: str = DEFAULT_TENANT,
+        deadline: Optional[Deadline] = None,
+    ):
         self._fn = fn
         self.tenant = tenant
+        self.deadline = deadline
         self._done = threading.Event()
         self._result: Any = None
         self._error: Optional[BaseException] = None
@@ -58,6 +69,11 @@ class WorkItem:
     def run(self) -> None:
         self.started_at = time.perf_counter()
         try:
+            # a job whose budget died in the backlog is never started —
+            # running it would hold a worker slot for an answer nobody
+            # is waiting on (docs/api.md deadline contract)
+            if self.deadline is not None:
+                self.deadline.require("leaving the work queue")
             self._result = self._fn()
         except BaseException as exc:  # repro: noqa[REPRO401] - re-raised in result()
             self._error = exc
@@ -87,6 +103,7 @@ class _TenantCounters:
         "completed",
         "failed",
         "rejected",
+        "expired",
     )
 
     def __init__(self) -> None:
@@ -96,6 +113,7 @@ class _TenantCounters:
         self.completed = 0
         self.failed = 0
         self.rejected = 0
+        self.expired = 0
 
     @property
     def depth(self) -> int:
@@ -110,6 +128,7 @@ class _TenantCounters:
             "completed": self.completed,
             "failed": self.failed,
             "rejected": self.rejected,
+            "expired": self.expired,
         }
 
 
@@ -152,6 +171,7 @@ class BoundedWorkQueue:
         self._completed = 0
         self._failed = 0
         self._rejected = 0
+        self._expired = 0
         self._wait_seconds = 0.0
         self._run_seconds = 0.0
         self._last_latency = 0.0
@@ -168,19 +188,34 @@ class BoundedWorkQueue:
 
     # ------------------------------------------------------------------
     def submit(
-        self, fn: Callable[[], Any], tenant: str = DEFAULT_TENANT
+        self,
+        fn: Callable[[], Any],
+        tenant: str = DEFAULT_TENANT,
+        deadline: Optional[Deadline] = None,
     ) -> WorkItem:
         """Admit a job or raise :class:`QueueFullError` immediately.
 
         Admission, rejection, and every counter update happen under one
         lock acquisition, so ``stats()`` can never observe a submission
         that is neither queued, in flight, finished, nor rejected.
+
+        A ``deadline`` that is already spent is refused at admission
+        (:class:`DeadlineExpiredError`, counted under ``expired``);
+        one that dies in the backlog fails at drain time *without
+        running* — either way zero depth leaks.
         """
-        item = WorkItem(fn, tenant=tenant)
+        item = WorkItem(fn, tenant=tenant, deadline=deadline)
         with self._lock:
             if self._closed:
                 raise QueueFullError("work queue is closed")
             counters = self._tenants.setdefault(tenant, _TenantCounters())
+            if deadline is not None and deadline.expired:
+                counters.expired += 1
+                self._expired += 1
+                raise DeadlineExpiredError(
+                    "deadline expired: budget exhausted before the work "
+                    "queue could admit the request"
+                )
             if (
                 self.tenant_capacity is not None
                 and counters.depth >= self.tenant_capacity
@@ -211,9 +246,10 @@ class BoundedWorkQueue:
         fn: Callable[[], Any],
         timeout: Optional[float] = None,
         tenant: str = DEFAULT_TENANT,
+        deadline: Optional[Deadline] = None,
     ) -> Any:
         """Submit and block for the result (the HTTP handler's path)."""
-        return self.submit(fn, tenant=tenant).result(timeout)
+        return self.submit(fn, tenant=tenant, deadline=deadline).result(timeout)
 
     # ------------------------------------------------------------------
     def _drain(self) -> None:
@@ -239,8 +275,12 @@ class BoundedWorkQueue:
                 self._run_seconds += item.finished_at - item.started_at
                 self._last_latency = item.finished_at - item.submitted_at
                 if item.failed:
-                    self._failed += 1
-                    counters.failed += 1
+                    if isinstance(item._error, DeadlineExpiredError):
+                        self._expired += 1
+                        counters.expired += 1
+                    else:
+                        self._failed += 1
+                        counters.failed += 1
                 else:
                     self._completed += 1
                     counters.completed += 1
@@ -272,6 +312,7 @@ class BoundedWorkQueue:
                 "completed": self._completed,
                 "failed": self._failed,
                 "rejected": self._rejected,
+                "expired": self._expired,
                 "avg_wait_seconds": (
                     self._wait_seconds / finished if finished else 0.0
                 ),

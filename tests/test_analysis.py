@@ -395,6 +395,45 @@ class TestDeterminism:
             """})
         assert list(DeterminismChecker().check(project)) == []
 
+    def test_wallclock_deadline_arithmetic_fires(self, tmp_path):
+        """REPRO304: time.time() in deadline/timeout math, in any package."""
+        project = make_project(tmp_path, {"util.py": """\
+            import time
+
+            def wait_until(timeout):
+                deadline = time.time() + timeout
+                while time.time() < deadline:
+                    pass
+
+            def spent(self):
+                return time.time() - self.expires_at
+            """})
+        findings = [
+            f
+            for f in DeterminismChecker().check(project)
+            if f.code == "REPRO304"
+        ]
+        assert [f.line for f in findings] == [4, 5, 9]
+        assert all("time.monotonic()" in f.message for f in findings)
+
+    def test_monotonic_deadline_arithmetic_is_clean(self, tmp_path):
+        project = make_project(tmp_path, {"util.py": """\
+            import time
+
+            def wait_until(timeout):
+                deadline = time.monotonic() + timeout
+                while time.monotonic() < deadline:
+                    pass
+
+            def stamp():
+                return time.time()  # not deadline arithmetic
+            """})
+        assert [
+            f
+            for f in DeterminismChecker().check(project)
+            if f.code == "REPRO304"
+        ] == []
+
 
 # ----------------------------------------------------------------------
 # REPRO4xx — exception & wire policy

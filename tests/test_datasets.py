@@ -145,6 +145,9 @@ class TestZoo:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         from repro.datasets.zoo import _MEMORY_CACHE
 
+        # earlier test modules may have seeded this key from the real
+        # disk cache (whose metrics are NaN); train fresh here
+        _MEMORY_CACHE.pop(("pcqm4m", "test", 0, (32, 32, 32)), None)
         a = get_trained("pcqm4m", scale="test", seed=0)
         b = get_trained("pcqm4m", scale="test", seed=0)
         assert a is b
